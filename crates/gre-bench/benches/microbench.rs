@@ -1,0 +1,157 @@
+//! Criterion micro-benchmarks backing the paper's figures: point lookups and
+//! inserts on every index (Figures 2–5), bulk loading, range scans
+//! (Figure 13) and PLA hardness computation (§3.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gre_bench::registry::{concurrent_indexes, single_thread_indexes};
+use gre_core::RangeSpec;
+use gre_datasets::Dataset;
+use gre_pla::{optimal_pla, DataHardness, HardnessConfig};
+use std::hint::black_box;
+
+const N: usize = 50_000;
+
+fn dataset_entries(ds: Dataset) -> Vec<(u64, u64)> {
+    ds.generate(N, 42).into_iter().map(|k| (k, k ^ 7)).collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    group.sample_size(10);
+    for ds in [Dataset::Covid, Dataset::Osm] {
+        let entries = dataset_entries(ds);
+        for entry in single_thread_indexes() {
+            let mut index = entry.index;
+            index.bulk_load(&entries);
+            group.bench_with_input(
+                BenchmarkId::new(entry.name, ds.name()),
+                &entries,
+                |b, entries| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        i = (i + 7919) % entries.len();
+                        black_box(index.get(entries[i].0))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    group.sample_size(10);
+    for ds in [Dataset::Covid] {
+        let entries = dataset_entries(ds);
+        let (bulk, rest) = entries.split_at(entries.len() / 2);
+        for entry in single_thread_indexes() {
+            let mut index = entry.index;
+            index.bulk_load(bulk);
+            group.bench_with_input(BenchmarkId::new(entry.name, ds.name()), rest, |b, rest| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % rest.len();
+                    black_box(index.insert(rest[i].0, rest[i].1))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_load");
+    group.sample_size(10);
+    let entries = dataset_entries(Dataset::Books);
+    for entry in single_thread_indexes() {
+        group.bench_function(entry.name, |b| {
+            b.iter_batched(
+                || (),
+                |_| {
+                    let mut fresh = single_thread_indexes()
+                        .into_iter()
+                        .find(|e| e.name == entry.name)
+                        .unwrap()
+                        .index;
+                    fresh.bulk_load(black_box(&entries));
+                    black_box(fresh.len())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_scan_100");
+    group.sample_size(10);
+    let entries = dataset_entries(Dataset::Covid);
+    for entry in single_thread_indexes() {
+        if !entry.index.meta().supports_range {
+            continue;
+        }
+        let mut index = entry.index;
+        index.bulk_load(&entries);
+        group.bench_function(entry.name, |b| {
+            let mut out = Vec::with_capacity(128);
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 8191) % entries.len();
+                out.clear();
+                black_box(index.range(RangeSpec::new(entries[i].0, 100), &mut out))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_single_thread_insert_path");
+    group.sample_size(10);
+    let entries = dataset_entries(Dataset::Covid);
+    let (bulk, rest) = entries.split_at(entries.len() / 2);
+    for entry in concurrent_indexes(true) {
+        let mut index = entry.index;
+        index.bulk_load(bulk);
+        group.bench_function(entry.name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % rest.len();
+                black_box(index.insert(rest[i].0, rest[i].1))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pla(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pla_hardness");
+    group.sample_size(10);
+    for ds in [Dataset::Covid, Dataset::Genome, Dataset::Osm] {
+        let keys = ds.generate(N, 42);
+        group.bench_function(format!("segments_eps32_{}", ds.name()), |b| {
+            b.iter(|| black_box(optimal_pla(&keys, 32).len()))
+        });
+        group.bench_function(format!("hardness_{}", ds.name()), |b| {
+            b.iter(|| black_box(DataHardness::compute(&keys, HardnessConfig::default()).local))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(10);
+    targets = bench_lookup,
+        bench_insert,
+        bench_bulk_load,
+        bench_range,
+        bench_concurrent_insert,
+        bench_pla
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 11: tail latency (99.9th percentile and standard deviation) of
+//! inserts, single-threaded and multi-threaded.
+use gre_bench::{registry::{concurrent_indexes, single_thread_indexes}, RunOpts};
+use gre_datasets::Dataset;
+use gre_workloads::{run_concurrent, run_single, WorkloadBuilder, WriteRatio};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let builder = WorkloadBuilder::new(opts.seed);
+    println!("# Figure 11: insert tail latency (write-only workload)");
+    println!(
+        "{:<10} {:<12} {:>9} {:>12} {:>10}",
+        "dataset", "index", "threads", "p99.9 (ns)", "std (ns)"
+    );
+    for ds in Dataset::DRILLDOWN_DATASETS {
+        let keys = ds.generate(opts.keys, opts.seed);
+        let workload = builder.insert_workload(&ds.name(), &keys, WriteRatio::WriteOnly);
+        for entry in single_thread_indexes() {
+            let mut index = entry.index;
+            let r = run_single(index.as_mut(), &workload);
+            println!(
+                "{:<10} {:<12} {:>9} {:>12} {:>10.0}",
+                ds.name(), entry.name, 1, r.write_latency.p999_ns, r.write_latency.std_ns
+            );
+        }
+        for entry in concurrent_indexes(true) {
+            let mut index = entry.index;
+            let r = run_concurrent(index.as_mut(), &workload, opts.threads);
+            println!(
+                "{:<10} {:<12} {:>9} {:>12} {:>10.0}",
+                ds.name(), entry.name, opts.threads, r.write_latency.p999_ns, r.write_latency.std_ns
+            );
+        }
+    }
+}

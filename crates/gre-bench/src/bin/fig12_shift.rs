@@ -1,0 +1,49 @@
+//! Figure 12: throughput change when the data distribution shifts after
+//! deployment (bulk load dataset X, run a balanced workload inserting
+//! dataset Y rescaled into X's domain).
+use gre_bench::{registry::single_thread_indexes, RunOpts};
+use gre_datasets::Dataset;
+use gre_workloads::{run_single, WorkloadBuilder, WriteRatio};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let builder = WorkloadBuilder::new(opts.seed);
+    let pairs = [
+        (Dataset::Covid, Dataset::Osm),
+        (Dataset::Osm, Dataset::Covid),
+        (Dataset::Covid, Dataset::Genome),
+        (Dataset::Genome, Dataset::Covid),
+    ];
+    println!("# Figure 12: throughput change (%) under distribution shift vs no shift");
+    println!("{:<22} {:<12} {:>14} {:>14} {:>10}", "shift", "index", "base Mop/s", "shift Mop/s", "change %");
+    for (x, y) in pairs {
+        let keys_x = x.generate(opts.keys, opts.seed);
+        let keys_y = y.generate(opts.keys, opts.seed + 1);
+        let baseline = builder.insert_workload(&x.name(), &keys_x, WriteRatio::Balanced);
+        let shifted = builder.shift_workload(&format!("{}->{}", x.name(), y.name()), &keys_x, &keys_y);
+        for entry in single_thread_indexes() {
+            let mut base_index = entry.index;
+            let base = run_single(base_index.as_mut(), &baseline);
+            // A fresh instance of the same index for the shifted run.
+            let mut fresh = gre_bench::single_thread_indexes()
+                .into_iter()
+                .find(|e| e.name == entry.name)
+                .expect("index exists")
+                .index;
+            let shift = run_single(fresh.as_mut(), &shifted);
+            let change = if base.throughput_mops() > 0.0 {
+                (shift.throughput_mops() - base.throughput_mops()) / base.throughput_mops() * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "{:<22} {:<12} {:>14.3} {:>14.3} {:>10.1}",
+                format!("{}->{}", x.name(), y.name()),
+                entry.name,
+                base.throughput_mops(),
+                shift.throughput_mops(),
+                change
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 13: range-query throughput (million keys scanned per second) under
+//! varying scan sizes from 10 to 10,000.
+use gre_bench::{registry::single_thread_indexes, RunOpts};
+use gre_datasets::Dataset;
+use gre_workloads::{run_single, WorkloadBuilder};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let builder = WorkloadBuilder::new(opts.seed);
+    let scan_sizes = [10usize, 100, 1_000, 10_000];
+    println!("# Figure 13: range scan throughput (M keys/s)");
+    print!("{:<10} {:<12}", "dataset", "index");
+    for s in scan_sizes {
+        print!(" {:>10}", s);
+    }
+    println!();
+    for ds in Dataset::DRILLDOWN_DATASETS {
+        let keys = ds.generate(opts.keys, opts.seed);
+        for entry in single_thread_indexes() {
+            if !entry.index.meta().supports_range {
+                continue;
+            }
+            let mut row = format!("{:<10} {:<12}", ds.name(), entry.name);
+            let mut index = entry.index;
+            for &s in &scan_sizes {
+                let queries = (opts.keys / s.max(10)).clamp(20, 2_000);
+                let workload = builder.range_workload(&ds.name(), &keys, s, queries);
+                let r = run_single(index.as_mut(), &workload);
+                row.push_str(&format!(" {:>10.2}", r.scan_throughput_mkeys()));
+            }
+            println!("{row}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Figures 14/15: synthetic hardness-driven datasets and their heatmap.
+use gre_bench::heatmap::{single_thread_heatmap, HeatmapMode};
+use gre_bench::RunOpts;
+use gre_datasets::Dataset;
+use gre_pla::{DataHardness, HardnessConfig, SynthCorner};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    println!("# Figure 15: synthetic corner datasets");
+    let datasets: Vec<Dataset> = SynthCorner::ALL
+        .iter()
+        .map(|c| Dataset::Synthetic(*c))
+        .collect();
+    for ds in &datasets {
+        let keys = ds.generate(opts.keys, opts.seed);
+        let h = DataHardness::compute_sampled(&keys, HardnessConfig::default(), 100_000);
+        println!(
+            "{:<20} H(eps=32) = {:<8} H(eps=4096) = {}",
+            ds.name(),
+            h.local,
+            h.global
+        );
+    }
+    let hm = single_thread_heatmap(
+        "Figure 14: single-thread heatmap on synthetic datasets",
+        &datasets,
+        &opts,
+        HeatmapMode::Inserts,
+    );
+    print!("{}", hm.render());
+}

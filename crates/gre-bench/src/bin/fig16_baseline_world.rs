@@ -1,0 +1,19 @@
+//! Figure 16: "the world without this study" — the multi-threaded heatmap
+//! restricted to natively concurrent indexes (no ALEX+ / LIPP+).
+use gre_bench::heatmap::concurrent_heatmap;
+use gre_bench::RunOpts;
+use gre_datasets::Dataset;
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let hm = concurrent_heatmap(
+        &format!(
+            "Figure 16: heatmap without ALEX+/LIPP+ ({} threads)",
+            opts.threads
+        ),
+        &Dataset::HEATMAP_DATASETS,
+        &opts,
+        false,
+    );
+    print!("{}", hm.render());
+}

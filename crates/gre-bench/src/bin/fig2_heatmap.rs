@@ -1,0 +1,15 @@
+//! Figure 2: single-threaded throughput heatmap over datasets × write ratios.
+use gre_bench::heatmap::{single_thread_heatmap, HeatmapMode};
+use gre_bench::RunOpts;
+use gre_datasets::Dataset;
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let hm = single_thread_heatmap(
+        "Figure 2: single-threaded heatmap (best learned vs best traditional)",
+        &Dataset::HEATMAP_DATASETS,
+        &opts,
+        HeatmapMode::Inserts,
+    );
+    print!("{}", hm.render());
+}

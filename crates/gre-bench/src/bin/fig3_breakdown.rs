@@ -1,0 +1,32 @@
+//! Figure 3: time breakdown of insert operations (lookup vs remaining steps,
+//! and the split of the remaining steps into insert/smo/stat/shift/chain).
+use gre_bench::{registry::single_thread_indexes, RunOpts};
+use gre_datasets::Dataset;
+use gre_workloads::{run_single, WorkloadBuilder, WriteRatio};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let builder = WorkloadBuilder::new(opts.seed);
+    println!("# Figure 3: insert time breakdown (write-only workload, ns per insert)");
+    println!(
+        "{:<10} {:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "dataset", "index", "lookup", "insert", "smo", "stat", "shift", "chain", "total"
+    );
+    for ds in Dataset::DRILLDOWN_DATASETS {
+        let keys = ds.generate(opts.keys, opts.seed);
+        let workload = builder.insert_workload(&ds.name(), &keys, WriteRatio::WriteOnly);
+        for entry in single_thread_indexes() {
+            if !matches!(entry.name, "ALEX" | "LIPP" | "ART" | "B+tree") {
+                continue;
+            }
+            let mut index = entry.index;
+            run_single(index.as_mut(), &workload);
+            let b = index.stats().mean_insert_breakdown();
+            println!(
+                "{:<10} {:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                ds.name(), entry.name, b.lookup_ns, b.insert_ns, b.smo_ns, b.stat_ns,
+                b.shift_ns, b.chain_ns, b.total_ns()
+            );
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 4: throughput heatmap under multi-threaded execution.
+use gre_bench::heatmap::concurrent_heatmap;
+use gre_bench::RunOpts;
+use gre_datasets::Dataset;
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let hm = concurrent_heatmap(
+        &format!("Figure 4: heatmap under {} threads", opts.threads),
+        &Dataset::HEATMAP_DATASETS,
+        &opts,
+        true,
+    );
+    print!("{}", hm.render());
+}

@@ -1,0 +1,30 @@
+//! Figure 5: throughput of read-only / balanced / write-only workloads while
+//! scaling the thread count on one socket.
+use gre_bench::{registry::concurrent_indexes, RunOpts};
+use gre_datasets::Dataset;
+use gre_workloads::{run_concurrent, WorkloadBuilder, WriteRatio};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let builder = WorkloadBuilder::new(opts.seed);
+    let thread_points: Vec<usize> = [1usize, 2, 4, 8, 16, 24, 36, 48]
+        .into_iter()
+        .filter(|t| *t <= opts.threads.max(1) * 2)
+        .collect();
+    println!("# Figure 5: scalability (Mop/s); hyper-threaded points are those beyond {} threads", opts.threads);
+    for ds in Dataset::DRILLDOWN_DATASETS {
+        let keys = ds.generate(opts.keys, opts.seed);
+        for ratio in [WriteRatio::ReadOnly, WriteRatio::Balanced, WriteRatio::WriteOnly] {
+            let workload = builder.insert_workload(&ds.name(), &keys, ratio);
+            for entry in concurrent_indexes(true) {
+                let mut row = format!("{:<10} {:<6} {:<10}", ds.name(), ratio.label(), entry.name);
+                let mut index = entry.index;
+                for &t in &thread_points {
+                    let r = run_concurrent(index.as_mut(), &workload, t);
+                    row.push_str(&format!(" {:>8.3}", r.throughput_mops()));
+                }
+                println!("{row}");
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 7: single-threaded throughput heatmap under deletion workloads.
+use gre_bench::heatmap::{single_thread_heatmap, HeatmapMode};
+use gre_bench::RunOpts;
+use gre_datasets::Dataset;
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let hm = single_thread_heatmap(
+        "Figure 7: single-threaded deletion heatmap",
+        &Dataset::HEATMAP_DATASETS,
+        &opts,
+        HeatmapMode::Deletes,
+    );
+    print!("{}", hm.render());
+}

@@ -1,0 +1,27 @@
+//! Figure 8: end-to-end memory space after the write-only workload.
+use gre_bench::{registry::single_thread_indexes, RunOpts};
+use gre_datasets::Dataset;
+use gre_workloads::{run_single, WorkloadBuilder, WriteRatio};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let builder = WorkloadBuilder::new(opts.seed);
+    println!("# Figure 8: end-to-end index size (MB) after the write-only workload");
+    print!("{:<10}", "dataset");
+    let names: Vec<&str> = single_thread_indexes().iter().map(|e| e.name).collect();
+    for n in &names {
+        print!(" {:>12}", n);
+    }
+    println!();
+    for ds in Dataset::DRILLDOWN_DATASETS {
+        let keys = ds.generate(opts.keys, opts.seed);
+        let workload = builder.insert_workload(&ds.name(), &keys, WriteRatio::WriteOnly);
+        print!("{:<10}", ds.name());
+        for entry in single_thread_indexes() {
+            let mut index = entry.index;
+            let r = run_single(index.as_mut(), &workload);
+            print!(" {:>12.2}", r.memory_bytes as f64 / (1024.0 * 1024.0));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 9: ALEX-M vs LIPP — ALEX tuned to use roughly the same memory as
+//! LIPP (fill factor lowered), compared across write ratios.
+use gre_bench::RunOpts;
+use gre_core::Index;
+use gre_datasets::Dataset;
+use gre_learned::{Alex, AlexConfig, Lipp};
+use gre_workloads::{run_single, WorkloadBuilder, WriteRatio};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let builder = WorkloadBuilder::new(opts.seed);
+    println!("# Figure 9: ALEX-M (memory-matched) vs LIPP");
+    println!(
+        "{:<10} {:<6} {:>12} {:>12} {:>12} {:>12}",
+        "dataset", "writes", "ALEX-M MB", "LIPP MB", "ALEX-M Mop/s", "LIPP Mop/s"
+    );
+    for ds in Dataset::DRILLDOWN_DATASETS {
+        let keys = ds.generate(opts.keys, opts.seed);
+        for ratio in WriteRatio::ALL {
+            let workload = builder.insert_workload(&ds.name(), &keys, ratio);
+            let mut alex_m = Alex::<u64>::with_config(AlexConfig::memory_matched());
+            let mut lipp = Lipp::<u64>::new();
+            let ra = run_single(&mut alex_m, &workload);
+            let rl = run_single(&mut lipp, &workload);
+            println!(
+                "{:<10} {:<6} {:>12.2} {:>12.2} {:>12.3} {:>12.3}",
+                ds.name(),
+                ratio.label(),
+                alex_m.memory_usage() as f64 / (1024.0 * 1024.0),
+                lipp.memory_usage() as f64 / (1024.0 * 1024.0),
+                ra.throughput_mops(),
+                rl.throughput_mops()
+            );
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure A (appendix): ALEX+ lock granularity — one optimistic lock per data
+//! node vs one lock per 256 records — under the balanced workload.
+use gre_bench::RunOpts;
+use gre_datasets::Dataset;
+use gre_learned::{AlexConfig, AlexPlus, LockGranularity};
+use gre_workloads::{run_concurrent, WorkloadBuilder, WriteRatio};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let builder = WorkloadBuilder::new(opts.seed);
+    println!("# Figure A: ALEX+ lock granularity (balanced workload, {} threads)", opts.threads);
+    println!("{:<10} {:>18} {:>22}", "dataset", "per-node (Mop/s)", "per-256-records (Mop/s)");
+    for ds in Dataset::DRILLDOWN_DATASETS {
+        let keys = ds.generate(opts.keys, opts.seed);
+        let workload = builder.insert_workload(&ds.name(), &keys, WriteRatio::Balanced);
+        let mut per_node = AlexPlus::<u64>::with_config(AlexConfig::default(), LockGranularity::PerNode);
+        let mut per_group =
+            AlexPlus::<u64>::with_config(AlexConfig::default(), LockGranularity::PerRecordGroup);
+        let rn = run_concurrent(&mut per_node, &workload, opts.threads);
+        let rg = run_concurrent(&mut per_group, &workload, opts.threads);
+        println!(
+            "{:<10} {:>18.3} {:>22.3}",
+            ds.name(),
+            rn.throughput_mops(),
+            rg.throughput_mops()
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Figures C/D/E/F (appendix): validating the hardness metric — throughput of
+//! ALEX and LIPP on the balanced workload plotted against local hardness
+//! H(eps=32), global hardness H(eps=4096), and the single-regression MSE.
+use gre_bench::RunOpts;
+use gre_datasets::Dataset;
+use gre_learned::{Alex, Lipp};
+use gre_pla::HardnessConfig;
+use gre_workloads::{run_single, WorkloadBuilder, WriteRatio};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let builder = WorkloadBuilder::new(opts.seed);
+    println!("# Figures C/D/E/F: hardness metrics vs balanced-workload throughput");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>12} {:>12}",
+        "dataset", "H(eps=32)", "H(eps=4096)", "1-line MSE", "ALEX Mop/s", "LIPP Mop/s"
+    );
+    for ds in Dataset::HEATMAP_DATASETS {
+        let keys = ds.generate(opts.keys, opts.seed);
+        let h = ds.hardness(opts.keys, opts.seed, HardnessConfig::default());
+        let workload = builder.insert_workload(&ds.name(), &keys, WriteRatio::Balanced);
+        let mut alex = Alex::<u64>::new();
+        let mut lipp = Lipp::<u64>::new();
+        let ra = run_single(&mut alex, &workload);
+        let rl = run_single(&mut lipp, &workload);
+        println!(
+            "{:<10} {:>12} {:>12} {:>14.3e} {:>12.3} {:>12.3}",
+            ds.name(), h.local, h.global, h.single_line_mse,
+            ra.throughput_mops(), rl.throughput_mops()
+        );
+    }
+}

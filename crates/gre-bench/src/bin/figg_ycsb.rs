@@ -1,0 +1,38 @@
+//! Figure G (appendix): YCSB A/B/C with Zipfian (0.99) request keys,
+//! single-threaded and multi-threaded.
+use gre_bench::{registry::{concurrent_indexes, single_thread_indexes}, RunOpts};
+use gre_datasets::Dataset;
+use gre_workloads::generate::YcsbVariant;
+use gre_workloads::{run_concurrent, run_single, WorkloadBuilder};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let builder = WorkloadBuilder::new(opts.seed);
+    println!("# Figure G: YCSB throughput (Mop/s), Zipfian 0.99");
+    println!(
+        "{:<10} {:<8} {:<12} {:>9} {:>10}",
+        "dataset", "ycsb", "index", "threads", "Mop/s"
+    );
+    for ds in Dataset::DRILLDOWN_DATASETS {
+        let keys = ds.generate(opts.keys, opts.seed);
+        for variant in [YcsbVariant::A, YcsbVariant::B, YcsbVariant::C] {
+            let workload = builder.ycsb(&ds.name(), &keys, variant, opts.keys);
+            for entry in single_thread_indexes() {
+                let mut index = entry.index;
+                let r = run_single(index.as_mut(), &workload);
+                println!(
+                    "{:<10} {:<8} {:<12} {:>9} {:>10.3}",
+                    ds.name(), variant.name(), entry.name, 1, r.throughput_mops()
+                );
+            }
+            for entry in concurrent_indexes(true) {
+                let mut index = entry.index;
+                let r = run_concurrent(index.as_mut(), &workload, opts.threads);
+                println!(
+                    "{:<10} {:<8} {:<12} {:>9} {:>10.3}",
+                    ds.name(), variant.name(), entry.name, opts.threads, r.throughput_mops()
+                );
+            }
+        }
+    }
+}

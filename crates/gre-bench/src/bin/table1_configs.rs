@@ -1,0 +1,31 @@
+//! Table 1: configurations of the evaluated learned indexes.
+use gre_learned::{AlexConfig, FinedexConfig, LippConfig, XIndexConfig};
+
+fn main() {
+    let alex = AlexConfig::default();
+    let lipp = LippConfig::default();
+    let xindex = XIndexConfig::default();
+    let finedex = FinedexConfig::default();
+    println!("# Table 1: learned index configurations");
+    println!(
+        "ALEX / ALEX+      max node entries: {}  min/init/max density: {}/{}/{}",
+        alex.max_node_entries, alex.min_density, alex.init_density, alex.max_density
+    );
+    println!(
+        "ALEX-M (Fig 9)    init density: {}",
+        AlexConfig::memory_matched().init_density
+    );
+    println!(
+        "LIPP / LIPP+      density: {}  max node slots: {}  inserted/conflict ratio: {}/{}",
+        lipp.density, lipp.max_node_slots, lipp.inserted_ratio, lipp.conflict_ratio
+    );
+    println!("PGM-Index         error bound: {}", gre_learned::pgm::DEFAULT_EPSILON);
+    println!(
+        "XIndex            error bound: {}  delta size: {}  group size: {}",
+        xindex.error_bound, xindex.delta_size, xindex.group_size
+    );
+    println!(
+        "FINEdex           error bound: {}  bin capacity: {}  group size: {}",
+        finedex.error_bound, finedex.bin_capacity, finedex.group_size
+    );
+}

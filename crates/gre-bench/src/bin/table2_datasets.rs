@@ -1,0 +1,30 @@
+//! Table 2 + Figure 1: the datasets, their CDF shapes and hardness coordinates.
+use gre_bench::RunOpts;
+use gre_datasets::Dataset;
+use gre_pla::HardnessConfig;
+
+fn main() {
+    let opts = RunOpts::from_env();
+    println!("# Table 2: datasets (emulated; {} keys each)", opts.keys);
+    println!(
+        "{:<10} {:<45} {:>12} {:>12} {:>14}",
+        "dataset", "description", "H(eps=32)", "H(eps=4096)", "1-line MSE"
+    );
+    for ds in Dataset::ALL_REAL {
+        let profile = ds.profile();
+        let h = ds.hardness(opts.keys, opts.seed, HardnessConfig::default());
+        println!(
+            "{:<10} {:<45} {:>12} {:>12} {:>14.3e}",
+            profile.name, profile.description, h.local, h.global, h.single_line_mse
+        );
+    }
+    // Figure 1: CDFs of planet and genome (16-point summaries).
+    for ds in [Dataset::Planet, Dataset::Genome] {
+        let keys = ds.generate(opts.keys, opts.seed);
+        println!("\n# Figure 1: CDF of {}", ds.name());
+        for p in 0..=16 {
+            let idx = (p * (keys.len() - 1)) / 16;
+            println!("  {:>6.2}% of keys <= {}", 100.0 * p as f64 / 16.0, keys[idx]);
+        }
+    }
+}

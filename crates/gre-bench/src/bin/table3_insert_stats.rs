@@ -1,0 +1,35 @@
+//! Table 3: per-insert statistics of ALEX and LIPP (nodes traversed, keys
+//! shifted, nodes created).
+use gre_bench::{registry::single_thread_indexes, RunOpts};
+use gre_datasets::Dataset;
+use gre_workloads::{run_single, WorkloadBuilder, WriteRatio};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let builder = WorkloadBuilder::new(opts.seed);
+    println!("# Table 3: statistics per insert (write-only workload)");
+    println!(
+        "{:<10} {:<8} {:>16} {:>14} {:>14}",
+        "dataset", "index", "nodes traversed", "keys shifted", "nodes created"
+    );
+    for ds in Dataset::DRILLDOWN_DATASETS {
+        let keys = ds.generate(opts.keys, opts.seed);
+        let workload = builder.insert_workload(&ds.name(), &keys, WriteRatio::WriteOnly);
+        for entry in single_thread_indexes() {
+            if !matches!(entry.name, "ALEX" | "LIPP") {
+                continue;
+            }
+            let mut index = entry.index;
+            run_single(index.as_mut(), &workload);
+            let s = index.stats();
+            println!(
+                "{:<10} {:<8} {:>16.2} {:>14.2} {:>14.2}",
+                ds.name(),
+                entry.name,
+                s.avg_nodes_traversed_per_insert(),
+                s.avg_keys_shifted_per_insert(),
+                s.avg_nodes_created_per_insert()
+            );
+        }
+    }
+}

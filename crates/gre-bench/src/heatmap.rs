@@ -1,0 +1,268 @@
+//! The data-workload heatmap of Figures 2, 4, 7, 14 and 16.
+//!
+//! Each cell of the heatmap is one (dataset, write-ratio) combination; its
+//! value is the throughput ratio between the best learned index and the best
+//! traditional index (positive: a traditional index wins, negative: a learned
+//! index wins — matching the paper's colour convention).
+
+use crate::registry::{concurrent_indexes, single_thread_indexes, IndexKind};
+use crate::runopts::RunOpts;
+use gre_datasets::Dataset;
+use gre_pla::{DataHardness, HardnessConfig};
+use gre_workloads::{run_concurrent, run_single, Workload, WorkloadBuilder, WriteRatio};
+use serde::{Deserialize, Serialize};
+
+/// One heatmap cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeatmapCell {
+    pub dataset: String,
+    pub write_ratio: String,
+    pub hardness_local: usize,
+    pub hardness_global: usize,
+    pub best_learned: String,
+    pub best_learned_mops: f64,
+    pub best_traditional: String,
+    pub best_traditional_mops: f64,
+    /// `best_traditional / best_learned` if the traditional index wins
+    /// (positive), `-(best_learned / best_traditional)` otherwise (negative),
+    /// matching the red/blue convention of the paper.
+    pub ratio: f64,
+}
+
+/// A full heatmap.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Heatmap {
+    pub title: String,
+    pub cells: Vec<HeatmapCell>,
+}
+
+impl Heatmap {
+    /// Fraction of cells won by a learned index (Message 1: >80% single-core).
+    pub fn learned_win_fraction(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells.iter().filter(|c| c.ratio < 0.0).count() as f64 / self.cells.len() as f64
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        out.push_str(&format!(
+            "{:<18} {:>6} {:>10} {:>10} {:>12} {:>10} {:>14} {:>10} {:>8}\n",
+            "dataset",
+            "writes",
+            "H(eps=32)",
+            "H(eps=4096)",
+            "best-learned",
+            "Mop/s",
+            "best-trad",
+            "Mop/s",
+            "ratio"
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<18} {:>6} {:>10} {:>10} {:>12} {:>10.3} {:>14} {:>10.3} {:>8.2}\n",
+                c.dataset,
+                c.write_ratio,
+                c.hardness_local,
+                c.hardness_global,
+                c.best_learned,
+                c.best_learned_mops,
+                c.best_traditional,
+                c.best_traditional_mops,
+                c.ratio
+            ));
+        }
+        out.push_str(&format!(
+            "learned indexes win {:.0}% of the data-workload space\n",
+            self.learned_win_fraction() * 100.0
+        ));
+        out
+    }
+
+    /// Serialize to JSON for GRE-style plotting scripts.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("heatmap serializes")
+    }
+}
+
+/// Which operation mix the heatmap varies (insert- or delete-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeatmapMode {
+    Inserts,
+    Deletes,
+}
+
+/// Build one workload for a heatmap cell.
+fn cell_workload(
+    builder: &WorkloadBuilder,
+    dataset: &Dataset,
+    keys: &[u64],
+    ratio: WriteRatio,
+    mode: HeatmapMode,
+) -> Workload {
+    match mode {
+        HeatmapMode::Inserts => builder.insert_workload(&dataset.name(), keys, ratio),
+        HeatmapMode::Deletes => {
+            builder.delete_workload(&dataset.name(), keys, ratio.write_fraction())
+        }
+    }
+}
+
+/// Compute a single-threaded heatmap over `datasets` × the five write ratios.
+pub fn single_thread_heatmap(
+    title: &str,
+    datasets: &[Dataset],
+    opts: &RunOpts,
+    mode: HeatmapMode,
+) -> Heatmap {
+    let builder = WorkloadBuilder::new(opts.seed);
+    let mut cells = Vec::new();
+    for dataset in datasets {
+        let keys = dataset.generate(opts.keys, opts.seed);
+        let mut dedup = keys.clone();
+        dedup.dedup();
+        let hardness = DataHardness::compute_sampled(&dedup, HardnessConfig::default(), 100_000);
+        for ratio in WriteRatio::ALL {
+            let workload = cell_workload(&builder, dataset, &keys, ratio, mode);
+            let mut best: [(String, f64); 2] = [("-".into(), 0.0), ("-".into(), 0.0)];
+            for entry in single_thread_indexes() {
+                // Skip indexes that cannot run this workload.
+                if mode == HeatmapMode::Deletes && !entry.index.meta().supports_delete {
+                    continue;
+                }
+                let mut index = entry.index;
+                let result = run_single(index.as_mut(), &workload);
+                let mops = result.throughput_mops();
+                let slot = match entry.kind {
+                    IndexKind::Learned => &mut best[0],
+                    IndexKind::Traditional => &mut best[1],
+                };
+                if mops > slot.1 {
+                    *slot = (entry.name.to_string(), mops);
+                }
+            }
+            cells.push(make_cell(dataset, ratio, &hardness, best));
+        }
+    }
+    Heatmap {
+        title: title.to_string(),
+        cells,
+    }
+}
+
+/// Compute a multi-threaded heatmap with `opts.threads` worker threads.
+pub fn concurrent_heatmap(
+    title: &str,
+    datasets: &[Dataset],
+    opts: &RunOpts,
+    include_parallelized: bool,
+) -> Heatmap {
+    let builder = WorkloadBuilder::new(opts.seed);
+    let mut cells = Vec::new();
+    for dataset in datasets {
+        let keys = dataset.generate(opts.keys, opts.seed);
+        let mut dedup = keys.clone();
+        dedup.dedup();
+        let hardness = DataHardness::compute_sampled(&dedup, HardnessConfig::default(), 100_000);
+        for ratio in WriteRatio::ALL {
+            let workload = builder.insert_workload(&dataset.name(), &keys, ratio);
+            let mut best: [(String, f64); 2] = [("-".into(), 0.0), ("-".into(), 0.0)];
+            for entry in concurrent_indexes(include_parallelized) {
+                let mut index = entry.index;
+                let result = run_concurrent(index.as_mut(), &workload, opts.threads);
+                let mops = result.throughput_mops();
+                let slot = match entry.kind {
+                    IndexKind::Learned => &mut best[0],
+                    IndexKind::Traditional => &mut best[1],
+                };
+                if mops > slot.1 {
+                    *slot = (entry.name.to_string(), mops);
+                }
+            }
+            cells.push(make_cell(dataset, ratio, &hardness, best));
+        }
+    }
+    Heatmap {
+        title: title.to_string(),
+        cells,
+    }
+}
+
+fn make_cell(
+    dataset: &Dataset,
+    ratio: WriteRatio,
+    hardness: &DataHardness,
+    best: [(String, f64); 2],
+) -> HeatmapCell {
+    let [(learned_name, learned_mops), (trad_name, trad_mops)] = best;
+    let ratio_value = if learned_mops >= trad_mops {
+        if trad_mops > 0.0 {
+            -(learned_mops / trad_mops)
+        } else {
+            -f64::INFINITY
+        }
+    } else if learned_mops > 0.0 {
+        trad_mops / learned_mops
+    } else {
+        f64::INFINITY
+    };
+    HeatmapCell {
+        dataset: dataset.name(),
+        write_ratio: ratio.label().to_string(),
+        hardness_local: hardness.local,
+        hardness_global: hardness.global,
+        best_learned: learned_name,
+        best_learned_mops: learned_mops,
+        best_traditional: trad_name,
+        best_traditional_mops: trad_mops,
+        ratio: ratio_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_heatmap_runs_end_to_end() {
+        let opts = RunOpts {
+            keys: 3_000,
+            threads: 2,
+            seed: 1,
+            quick: true,
+        };
+        let hm = single_thread_heatmap(
+            "test",
+            &[Dataset::Covid],
+            &opts,
+            HeatmapMode::Inserts,
+        );
+        assert_eq!(hm.cells.len(), WriteRatio::ALL.len());
+        for c in &hm.cells {
+            assert!(c.best_learned_mops > 0.0);
+            assert!(c.best_traditional_mops > 0.0);
+            assert!(c.ratio.is_finite());
+        }
+        let rendered = hm.render();
+        assert!(rendered.contains("covid"));
+        assert!(!hm.to_json().is_empty());
+        assert!((0.0..=1.0).contains(&hm.learned_win_fraction()));
+    }
+
+    #[test]
+    fn tiny_concurrent_heatmap_runs() {
+        let opts = RunOpts {
+            keys: 2_000,
+            threads: 2,
+            seed: 1,
+            quick: true,
+        };
+        let hm = concurrent_heatmap("test-mt", &[Dataset::Stack], &opts, true);
+        assert_eq!(hm.cells.len(), 5);
+        let hm_without = concurrent_heatmap("baseline", &[Dataset::Stack], &opts, false);
+        assert_eq!(hm_without.cells.len(), 5);
+    }
+}

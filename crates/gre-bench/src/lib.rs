@@ -1,0 +1,14 @@
+//! # gre-bench
+//!
+//! The GRE benchmark harness: index registries, the heatmap machinery of
+//! Figures 2/4/7/14/16, and shared helpers used by the per-figure binaries
+//! in `src/bin/` (one binary per table/figure of the paper; see DESIGN.md §5
+//! and EXPERIMENTS.md for the mapping).
+
+pub mod heatmap;
+pub mod registry;
+pub mod runopts;
+
+pub use heatmap::{Heatmap, HeatmapCell};
+pub use registry::{concurrent_indexes, single_thread_indexes, IndexKind};
+pub use runopts::RunOpts;

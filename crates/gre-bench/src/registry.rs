@@ -1,0 +1,179 @@
+//! Index registries: every evaluated index behind a uniform constructor so
+//! the per-figure binaries can iterate over them.
+
+use gre_core::{ConcurrentIndex, Index};
+use gre_learned::{
+    Alex, AlexConfig, AlexPlus, DynamicPgm, Finedex, Lipp, LippPlus, LockGranularity, XIndex,
+};
+use gre_traditional::{
+    art_olc, btree_olc, hot_rowex, masstree_concurrent, wormhole_concurrent, Art, BPlusTree, Hot,
+    Masstree, Wormhole,
+};
+
+/// Whether an index is learned or traditional (heatmap colouring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    Learned,
+    Traditional,
+}
+
+/// A named single-threaded index instance.
+pub struct SingleEntry {
+    pub name: &'static str,
+    pub kind: IndexKind,
+    pub index: Box<dyn Index<u64>>,
+}
+
+/// A named concurrent index instance.
+pub struct ConcurrentEntry {
+    pub name: &'static str,
+    pub kind: IndexKind,
+    pub index: Box<dyn ConcurrentIndex<u64>>,
+}
+
+/// Fresh instances of every single-threaded index of the study
+/// (the Table 1 learned indexes plus STX B+-tree, ART and HOT, §3.1).
+pub fn single_thread_indexes() -> Vec<SingleEntry> {
+    vec![
+        SingleEntry {
+            name: "ALEX",
+            kind: IndexKind::Learned,
+            index: Box::new(Alex::<u64>::new()),
+        },
+        SingleEntry {
+            name: "LIPP",
+            kind: IndexKind::Learned,
+            index: Box::new(Lipp::<u64>::new()),
+        },
+        SingleEntry {
+            name: "PGM-Index",
+            kind: IndexKind::Learned,
+            index: Box::new(DynamicPgm::<u64>::new()),
+        },
+        SingleEntry {
+            name: "B+tree",
+            kind: IndexKind::Traditional,
+            index: Box::new(BPlusTree::<u64>::new()),
+        },
+        SingleEntry {
+            name: "ART",
+            kind: IndexKind::Traditional,
+            index: Box::new(Art::<u64>::new()),
+        },
+        SingleEntry {
+            name: "HOT",
+            kind: IndexKind::Traditional,
+            index: Box::new(Hot::<u64>::new()),
+        },
+        SingleEntry {
+            name: "Masstree",
+            kind: IndexKind::Traditional,
+            index: Box::new(Masstree::<u64>::new()),
+        },
+        SingleEntry {
+            name: "Wormhole",
+            kind: IndexKind::Traditional,
+            index: Box::new(Wormhole::<u64>::new()),
+        },
+    ]
+}
+
+/// Fresh instances of every concurrent index (§4.2). Set `include_parallelized`
+/// to `false` to reproduce "the world without this study" (Figure 16), which
+/// drops ALEX+ and LIPP+ and keeps only the natively concurrent indexes.
+pub fn concurrent_indexes(include_parallelized: bool) -> Vec<ConcurrentEntry> {
+    let mut out: Vec<ConcurrentEntry> = Vec::new();
+    if include_parallelized {
+        out.push(ConcurrentEntry {
+            name: "ALEX+",
+            kind: IndexKind::Learned,
+            index: Box::new(AlexPlus::<u64>::with_config(
+                AlexConfig::default(),
+                LockGranularity::PerNode,
+            )),
+        });
+        out.push(ConcurrentEntry {
+            name: "LIPP+",
+            kind: IndexKind::Learned,
+            index: Box::new(LippPlus::<u64>::new()),
+        });
+    }
+    out.push(ConcurrentEntry {
+        name: "XIndex",
+        kind: IndexKind::Learned,
+        index: Box::new(XIndex::<u64>::new()),
+    });
+    out.push(ConcurrentEntry {
+        name: "FINEdex",
+        kind: IndexKind::Learned,
+        index: Box::new(Finedex::<u64>::new()),
+    });
+    out.push(ConcurrentEntry {
+        name: "ART-OLC",
+        kind: IndexKind::Traditional,
+        index: Box::new(art_olc::<u64>()),
+    });
+    out.push(ConcurrentEntry {
+        name: "B+treeOLC",
+        kind: IndexKind::Traditional,
+        index: Box::new(btree_olc::<u64>()),
+    });
+    out.push(ConcurrentEntry {
+        name: "HOT-ROWEX",
+        kind: IndexKind::Traditional,
+        index: Box::new(hot_rowex::<u64>()),
+    });
+    out.push(ConcurrentEntry {
+        name: "Masstree",
+        kind: IndexKind::Traditional,
+        index: Box::new(masstree_concurrent::<u64>()),
+    });
+    out.push(ConcurrentEntry {
+        name: "Wormhole",
+        kind: IndexKind::Traditional,
+        index: Box::new(wormhole_concurrent::<u64>()),
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_cover_the_papers_index_set() {
+        let single = single_thread_indexes();
+        assert_eq!(single.len(), 8);
+        assert!(single.iter().any(|e| e.name == "ALEX"));
+        assert!(single.iter().any(|e| e.name == "ART"));
+        let learned = single.iter().filter(|e| e.kind == IndexKind::Learned).count();
+        assert_eq!(learned, 3);
+
+        let conc = concurrent_indexes(true);
+        assert_eq!(conc.len(), 9);
+        assert!(conc.iter().any(|e| e.name == "ALEX+"));
+        let without = concurrent_indexes(false);
+        assert_eq!(without.len(), 7);
+        assert!(!without.iter().any(|e| e.name == "ALEX+"));
+    }
+
+    #[test]
+    fn every_registered_index_supports_basic_ops() {
+        let entries: Vec<(u64, u64)> = (0..1_000u64).map(|i| (i * 5 + 1, i)).collect();
+        for mut e in single_thread_indexes() {
+            e.index.bulk_load(&entries);
+            assert_eq!(e.index.len(), 1_000, "{}", e.name);
+            assert_eq!(e.index.get(6), Some(1), "{}", e.name);
+            e.index.insert(2, 22);
+            assert_eq!(e.index.get(2), Some(22), "{}", e.name);
+            assert!(e.index.memory_usage() > 0, "{}", e.name);
+        }
+        for mut e in concurrent_indexes(true) {
+            e.index.bulk_load(&entries);
+            assert_eq!(e.index.len(), 1_000, "{}", e.name);
+            assert_eq!(e.index.get(6), Some(1), "{}", e.name);
+            e.index.insert(2, 22);
+            assert_eq!(e.index.get(2), Some(22), "{}", e.name);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Command-line options shared by every per-figure binary.
+//!
+//! All binaries accept the same flags so the whole evaluation can be scaled
+//! to the machine at hand:
+//!
+//! ```text
+//! --keys N      number of keys per dataset        (default 200000)
+//! --threads T   worker threads for concurrent runs (default: available cores)
+//! --seed S      RNG seed                           (default 42)
+//! --quick       shrink everything for a smoke run
+//! ```
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    pub keys: usize,
+    pub threads: usize,
+    pub seed: u64,
+    pub quick: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            keys: 200_000,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            seed: 42,
+            quick: false,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Parse from an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = RunOpts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--keys" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        opts.keys = v;
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        opts.threads = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        opts.seed = v;
+                    }
+                }
+                "--quick" => opts.quick = true,
+                _ => {}
+            }
+        }
+        if opts.quick {
+            opts.keys = opts.keys.min(20_000);
+        }
+        opts.keys = opts.keys.max(1_000);
+        opts.threads = opts.threads.max(1);
+        opts
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let o = RunOpts::parse(s(&[]));
+        assert_eq!(o.keys, 200_000);
+        assert!(!o.quick);
+        let o = RunOpts::parse(s(&["--keys", "50000", "--threads", "2", "--seed", "7"]));
+        assert_eq!(o.keys, 50_000);
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn quick_caps_keys_and_bad_values_are_ignored() {
+        let o = RunOpts::parse(s(&["--keys", "999999", "--quick"]));
+        assert!(o.quick);
+        assert_eq!(o.keys, 20_000);
+        let o = RunOpts::parse(s(&["--keys", "nonsense", "--threads", "0"]));
+        assert_eq!(o.keys, 200_000);
+        assert_eq!(o.threads.max(1), o.threads);
+    }
+}

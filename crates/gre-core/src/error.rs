@@ -1,0 +1,64 @@
+//! Shared error type for GRE-rs.
+
+use std::fmt;
+
+/// Errors surfaced by index implementations and the benchmarking harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GreError {
+    /// Bulk load was called with keys that are not sorted in strictly
+    /// ascending order (for indexes that require sorted, unique input).
+    UnsortedBulkLoad,
+    /// A key already present was inserted into an index configured for
+    /// unique keys.
+    DuplicateKey,
+    /// The requested key does not exist.
+    KeyNotFound,
+    /// The operation is not supported by this index (e.g. deletes on an
+    /// index the paper also excludes from deletion experiments).
+    Unsupported(&'static str),
+    /// A configuration parameter was invalid (e.g. zero node size).
+    InvalidConfig(String),
+    /// The workload or dataset specification could not be satisfied.
+    InvalidWorkload(String),
+}
+
+impl fmt::Display for GreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GreError::UnsortedBulkLoad => {
+                write!(f, "bulk load requires strictly ascending unique keys")
+            }
+            GreError::DuplicateKey => write!(f, "duplicate key"),
+            GreError::KeyNotFound => write!(f, "key not found"),
+            GreError::Unsupported(op) => write!(f, "operation not supported: {op}"),
+            GreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            GreError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GreError {}
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, GreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(GreError::UnsortedBulkLoad.to_string().contains("ascending"));
+        assert!(GreError::DuplicateKey.to_string().contains("duplicate"));
+        assert!(GreError::KeyNotFound.to_string().contains("not found"));
+        assert!(GreError::Unsupported("delete").to_string().contains("delete"));
+        assert!(GreError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(GreError::InvalidWorkload("y".into()).to_string().contains('y'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GreError>();
+    }
+}

@@ -1,0 +1,306 @@
+//! The index trait surface every evaluated structure implements.
+//!
+//! The GRE benchmark drives all indexes through the same operation set:
+//! bulk load, point lookup, insert, delete, range scan, plus memory and
+//! statistics reporting. Single-threaded indexes implement [`Index`]
+//! (`&mut self` operations); concurrent derivatives (ALEX+, LIPP+, ART-OLC,
+//! B+TreeOLC, HOT-ROWEX, XIndex, FINEdex, …) implement [`ConcurrentIndex`]
+//! (`&self`, `Send + Sync`).
+
+use crate::key::{Key, Payload};
+use crate::stats::{InsertStats, StatsSnapshot};
+
+/// Descriptive metadata about an index implementation, used by the harness
+/// when printing tables (Table 1 of the paper) and heatmap legends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexMeta {
+    /// Human-readable name as it appears in the paper ("ALEX", "LIPP+", …).
+    pub name: &'static str,
+    /// Whether this is a learned index (true) or a traditional one (false).
+    pub learned: bool,
+    /// Whether the structure supports concurrent operation.
+    pub concurrent: bool,
+    /// Whether deletions are implemented (the paper excludes several indexes
+    /// from deletion experiments).
+    pub supports_delete: bool,
+    /// Whether range scans are implemented (Figure 13 only includes these).
+    pub supports_range: bool,
+}
+
+/// A range scan request: fetch up to `count` entries with keys `>= start`.
+///
+/// This matches the paper's range-query experiment (§6.3): "Each query picks a
+/// random start key K and fetches a fixed number of keys starting from K."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeSpec<K> {
+    pub start: K,
+    pub count: usize,
+}
+
+impl<K: Key> RangeSpec<K> {
+    pub fn new(start: K, count: usize) -> Self {
+        RangeSpec { start, count }
+    }
+}
+
+/// Single-threaded updatable index over `(K, Payload)` pairs.
+pub trait Index<K: Key>: Send {
+    /// Bulk load from a slice sorted by strictly ascending key.
+    ///
+    /// Implementations may assume sortedness; the harness validates inputs.
+    fn bulk_load(&mut self, entries: &[(K, Payload)]);
+
+    /// Point lookup. Returns the payload of `key` if present. For indexes
+    /// configured to store duplicates, any one matching payload is returned.
+    fn get(&self, key: K) -> Option<Payload>;
+
+    /// Insert a key/payload pair. Returns `true` if the key was newly
+    /// inserted, `false` if an existing key's payload was updated in place
+    /// (or, for duplicate-supporting configurations, appended).
+    fn insert(&mut self, key: K, value: Payload) -> bool;
+
+    /// Update the payload of an existing key in place. Returns `false` if the
+    /// key is absent. The default goes through `insert`.
+    fn update(&mut self, key: K, value: Payload) -> bool {
+        if self.get(key).is_some() {
+            self.insert(key, value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a key. Returns its payload if it was present.
+    fn remove(&mut self, key: K) -> Option<Payload>;
+
+    /// Range scan: append up to `spec.count` entries with key `>= spec.start`
+    /// in ascending key order to `out`, returning the number appended.
+    fn range(&self, spec: RangeSpec<K>, out: &mut Vec<(K, Payload)>) -> usize;
+
+    /// Number of entries currently stored.
+    fn len(&self) -> usize;
+
+    /// True when no entries are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// End-to-end memory consumption in bytes, including the leaf layer
+    /// (the paper's §5 measures end-to-end space, not just inner nodes).
+    fn memory_usage(&self) -> usize;
+
+    /// Statistics accumulated since construction or the last `reset_stats`.
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+
+    /// Reset accumulated statistics.
+    fn reset_stats(&mut self) {}
+
+    /// Detailed breakdown of the most recent insert (Figure 3 / Table 3).
+    fn last_insert_stats(&self) -> InsertStats {
+        InsertStats::default()
+    }
+
+    /// Index metadata for reporting.
+    fn meta(&self) -> IndexMeta;
+}
+
+/// Concurrent updatable index: same operation set, `&self` receivers.
+pub trait ConcurrentIndex<K: Key>: Send + Sync {
+    /// Bulk load from a sorted slice. Called before concurrent operation
+    /// starts, so it takes `&mut self`.
+    fn bulk_load(&mut self, entries: &[(K, Payload)]);
+
+    /// Point lookup.
+    fn get(&self, key: K) -> Option<Payload>;
+
+    /// Insert or update.
+    fn insert(&self, key: K, value: Payload) -> bool;
+
+    /// Update payload of an existing key; `false` if absent.
+    fn update(&self, key: K, value: Payload) -> bool {
+        if self.get(key).is_some() {
+            self.insert(key, value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a key.
+    fn remove(&self, key: K) -> Option<Payload>;
+
+    /// Range scan.
+    fn range(&self, spec: RangeSpec<K>, out: &mut Vec<(K, Payload)>) -> usize;
+
+    /// Number of entries (may be approximate while writers are active).
+    fn len(&self) -> usize;
+
+    /// True when no entries are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// End-to-end memory consumption in bytes.
+    fn memory_usage(&self) -> usize;
+
+    /// Index metadata for reporting.
+    fn meta(&self) -> IndexMeta;
+}
+
+/// Blanket adapter: any single-threaded index wrapped in a global mutex
+/// becomes a (trivially serialized) concurrent index. The harness uses this
+/// only for sanity checks, never for the scalability experiments.
+pub struct MutexIndex<I> {
+    inner: parking_lot::Mutex<I>,
+    name: &'static str,
+}
+
+impl<I> MutexIndex<I> {
+    pub fn new(inner: I, name: &'static str) -> Self {
+        MutexIndex {
+            inner: parking_lot::Mutex::new(inner),
+            name,
+        }
+    }
+}
+
+impl<K: Key, I: Index<K>> ConcurrentIndex<K> for MutexIndex<I> {
+    fn bulk_load(&mut self, entries: &[(K, Payload)]) {
+        self.inner.get_mut().bulk_load(entries);
+    }
+
+    fn get(&self, key: K) -> Option<Payload> {
+        self.inner.lock().get(key)
+    }
+
+    fn insert(&self, key: K, value: Payload) -> bool {
+        self.inner.lock().insert(key, value)
+    }
+
+    fn remove(&self, key: K) -> Option<Payload> {
+        self.inner.lock().remove(key)
+    }
+
+    fn range(&self, spec: RangeSpec<K>, out: &mut Vec<(K, Payload)>) -> usize {
+        self.inner.lock().range(spec, out)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    fn memory_usage(&self) -> usize {
+        self.inner.lock().memory_usage()
+    }
+
+    fn meta(&self) -> IndexMeta {
+        let mut meta = self.inner.lock().meta();
+        meta.name = self.name;
+        meta.concurrent = true;
+        meta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// A reference index backed by `BTreeMap`, used here to exercise the
+    /// trait defaults and by other crates' property tests as the model.
+    #[derive(Default)]
+    pub struct ModelIndex {
+        map: BTreeMap<u64, Payload>,
+    }
+
+    impl Index<u64> for ModelIndex {
+        fn bulk_load(&mut self, entries: &[(u64, Payload)]) {
+            self.map = entries.iter().copied().collect();
+        }
+        fn get(&self, key: u64) -> Option<Payload> {
+            self.map.get(&key).copied()
+        }
+        fn insert(&mut self, key: u64, value: Payload) -> bool {
+            self.map.insert(key, value).is_none()
+        }
+        fn remove(&mut self, key: u64) -> Option<Payload> {
+            self.map.remove(&key)
+        }
+        fn range(&self, spec: RangeSpec<u64>, out: &mut Vec<(u64, Payload)>) -> usize {
+            let before = out.len();
+            out.extend(self.map.range(spec.start..).take(spec.count).map(|(k, v)| (*k, *v)));
+            out.len() - before
+        }
+        fn len(&self) -> usize {
+            self.map.len()
+        }
+        fn memory_usage(&self) -> usize {
+            self.map.len() * 48
+        }
+        fn meta(&self) -> IndexMeta {
+            IndexMeta {
+                name: "model",
+                learned: false,
+                concurrent: false,
+                supports_delete: true,
+                supports_range: true,
+            }
+        }
+    }
+
+    #[test]
+    fn model_index_basics() {
+        let mut idx = ModelIndex::default();
+        idx.bulk_load(&[(1, 10), (5, 50), (9, 90)]);
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.get(5), Some(50));
+        assert_eq!(idx.get(4), None);
+        assert!(idx.insert(4, 40));
+        assert!(!idx.insert(4, 41));
+        assert!(idx.update(4, 42));
+        assert!(!idx.update(100, 1));
+        assert_eq!(idx.remove(4), Some(42));
+        let mut out = Vec::new();
+        assert_eq!(idx.range(RangeSpec::new(2, 10), &mut out), 2);
+        assert_eq!(out, vec![(5, 50), (9, 90)]);
+    }
+
+    #[test]
+    fn mutex_adapter_serializes_access() {
+        let mut wrapped = MutexIndex::new(ModelIndex::default(), "model-mutex");
+        ConcurrentIndex::bulk_load(&mut wrapped, &[(1, 1), (2, 2)]);
+        assert_eq!(ConcurrentIndex::get(&wrapped, 1), Some(1));
+        assert!(ConcurrentIndex::insert(&wrapped, 3, 3));
+        assert!(ConcurrentIndex::update(&wrapped, 3, 33));
+        assert_eq!(ConcurrentIndex::remove(&wrapped, 3), Some(33));
+        assert_eq!(ConcurrentIndex::len(&wrapped), 2);
+        assert!(ConcurrentIndex::memory_usage(&wrapped) > 0);
+        assert_eq!(ConcurrentIndex::meta(&wrapped).name, "model-mutex");
+        assert!(ConcurrentIndex::meta(&wrapped).concurrent);
+
+        // Concurrent hammering through the adapter must not lose updates.
+        let wrapped = std::sync::Arc::new(wrapped);
+        crossbeam::scope(|s| {
+            for t in 0..4u64 {
+                let w = std::sync::Arc::clone(&wrapped);
+                s.spawn(move |_| {
+                    for i in 0..250u64 {
+                        w.insert(1000 + t * 1000 + i, i);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(wrapped.len(), 2 + 4 * 250);
+    }
+
+    #[test]
+    fn range_spec_constructor() {
+        let spec = RangeSpec::new(7u64, 3);
+        assert_eq!(spec.start, 7);
+        assert_eq!(spec.count, 3);
+    }
+}

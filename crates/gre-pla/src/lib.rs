@@ -1,0 +1,23 @@
+//! # gre-pla
+//!
+//! The data-hardness machinery of the paper (§3.2, §7, Appendix C/D):
+//!
+//! * [`model`] — linear models mapping keys to positions.
+//! * [`pla`] — streaming ε-approximate piecewise linear approximation, the
+//!   linear-time segmentation algorithm used both to *measure* hardness and
+//!   by the PGM-Index to *build* its levels.
+//! * [`hardness`] — the two-dimensional hardness metric
+//!   `H_PLA(ε=32)` (local) / `H_PLA(ε=4096)` (global), plus the
+//!   single-regression MSE alternative the appendix compares against.
+//! * [`synth`] — the synthetic hardness-driven data generator of §7
+//!   (per-segment random linear models, corner datasets of Figure 15).
+
+pub mod hardness;
+pub mod model;
+pub mod pla;
+pub mod synth;
+
+pub use hardness::{DataHardness, HardnessConfig};
+pub use model::LinearModel;
+pub use pla::{optimal_pla, PlaSegment};
+pub use synth::{SyntheticSpec, SynthCorner};

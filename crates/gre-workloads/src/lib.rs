@@ -1,0 +1,20 @@
+//! # gre-workloads
+//!
+//! Workload generation and execution, mirroring §3.3 of the paper:
+//!
+//! * [`spec`] — operation and workload types (read-only … write-only,
+//!   deletion mixes, range scans, YCSB, distribution shift).
+//! * [`generate`] — builders that turn a dataset into a concrete operation
+//!   sequence (bulk-load set plus request stream).
+//! * [`zipf`] — the Zipfian request-key sampler used by the YCSB workloads.
+//! * [`runner`] — single- and multi-threaded execution with throughput and
+//!   tail-latency measurement (1% latency sampling, as in §6.1).
+
+pub mod generate;
+pub mod runner;
+pub mod spec;
+pub mod zipf;
+
+pub use generate::WorkloadBuilder;
+pub use runner::{run_concurrent, run_single, LatencySummary, RunResult};
+pub use spec::{Op, OpKind, Workload, WriteRatio};

@@ -1,0 +1,412 @@
+//! Workload execution and measurement.
+//!
+//! The harness executes a [`Workload`] against an index and reports
+//! throughput plus tail latency. Latencies are sampled from 1% of the
+//! operations (as in §6.1) to keep the measurement overhead negligible.
+//! Multi-threaded runs split the request stream evenly across threads, which
+//! matches the paper's setup of independent client threads hammering the
+//! index.
+
+use crate::spec::{Op, OpKind, Workload};
+use gre_core::{ConcurrentIndex, Index, RangeSpec};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Fraction of operations whose latency is sampled: one in every N ops.
+/// An odd prime stride avoids aliasing with the read/write interleaving
+/// pattern of the generated request streams.
+pub const LATENCY_SAMPLE_RATE: usize = 101;
+
+/// Summary statistics over a set of sampled latencies (nanoseconds).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    pub samples: usize,
+    pub mean_ns: f64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+    pub max_ns: u64,
+    pub std_ns: f64,
+}
+
+impl LatencySummary {
+    /// Build a summary from raw samples (order irrelevant).
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let sum: u128 = samples.iter().map(|&v| v as u128).sum();
+        let mean = sum as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        LatencySummary {
+            samples: n,
+            mean_ns: mean,
+            p50_ns: percentile(&samples, 0.50),
+            p99_ns: percentile(&samples, 0.99),
+            p999_ns: percentile(&samples, 0.999),
+            max_ns: samples[n - 1],
+            std_ns: var.sqrt(),
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The result of executing one workload on one index.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Index name.
+    pub index: String,
+    /// Workload name.
+    pub workload: String,
+    /// Threads used.
+    pub threads: usize,
+    /// Number of timed operations executed.
+    pub ops: usize,
+    /// Wall-clock time of the timed phase in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Bulk-load time in nanoseconds.
+    pub bulk_load_ns: u64,
+    /// Lookup hits observed (sanity check that the workload makes sense).
+    pub hits: usize,
+    /// Keys returned by range scans.
+    pub scanned_keys: usize,
+    /// Lookup latency summary (sampled).
+    pub read_latency: LatencySummary,
+    /// Write (insert/update/remove) latency summary (sampled).
+    pub write_latency: LatencySummary,
+    /// End-to-end index memory after the run, in bytes.
+    pub memory_bytes: usize,
+}
+
+impl RunResult {
+    /// Throughput in million operations per second.
+    pub fn throughput_mops(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / (self.elapsed_ns as f64 / 1e9) / 1e6
+    }
+
+    /// Throughput in keys scanned per second (for range workloads, which the
+    /// paper reports as "M keys/s").
+    pub fn scan_throughput_mkeys(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.scanned_keys as f64 / (self.elapsed_ns as f64 / 1e9) / 1e6
+    }
+}
+
+/// Execute a workload on a single-threaded index.
+pub fn run_single<I: Index<u64> + ?Sized>(index: &mut I, workload: &Workload) -> RunResult {
+    let bulk_timer = Instant::now();
+    index.bulk_load(&workload.bulk);
+    let bulk_load_ns = bulk_timer.elapsed().as_nanos() as u64;
+
+    let mut hits = 0usize;
+    let mut scanned = 0usize;
+    let mut read_samples = Vec::new();
+    let mut write_samples = Vec::new();
+    let mut scan_buf: Vec<(u64, u64)> = Vec::new();
+
+    let timer = Instant::now();
+    for (i, op) in workload.ops.iter().enumerate() {
+        let sample = i % LATENCY_SAMPLE_RATE == 0;
+        let start = if sample { Some(Instant::now()) } else { None };
+        match *op {
+            Op::Get(k) => {
+                if index.get(k).is_some() {
+                    hits += 1;
+                }
+            }
+            Op::Insert(k, v) => {
+                index.insert(k, v);
+            }
+            Op::Update(k, v) => {
+                index.update(k, v);
+            }
+            Op::Remove(k) => {
+                index.remove(k);
+            }
+            Op::Scan(k, count) => {
+                scan_buf.clear();
+                scanned += index.range(RangeSpec::new(k, count), &mut scan_buf);
+            }
+        }
+        if let Some(start) = start {
+            let ns = start.elapsed().as_nanos() as u64;
+            match op.kind() {
+                OpKind::Get | OpKind::Scan => read_samples.push(ns),
+                _ => write_samples.push(ns),
+            }
+        }
+    }
+    let elapsed_ns = timer.elapsed().as_nanos() as u64;
+
+    RunResult {
+        index: index.meta().name.to_string(),
+        workload: workload.name.clone(),
+        threads: 1,
+        ops: workload.ops.len(),
+        elapsed_ns,
+        bulk_load_ns,
+        hits,
+        scanned_keys: scanned,
+        read_latency: LatencySummary::from_samples(read_samples),
+        write_latency: LatencySummary::from_samples(write_samples),
+        memory_bytes: index.memory_usage(),
+    }
+}
+
+/// Execute a workload on a concurrent index with `threads` worker threads.
+///
+/// The request stream is split into `threads` contiguous chunks; each thread
+/// executes its chunk independently (the paper's client threads likewise
+/// issue independent request streams).
+pub fn run_concurrent<I: ConcurrentIndex<u64> + ?Sized>(
+    index: &mut I,
+    workload: &Workload,
+    threads: usize,
+) -> RunResult {
+    let threads = threads.max(1);
+    let bulk_timer = Instant::now();
+    index.bulk_load(&workload.bulk);
+    let bulk_load_ns = bulk_timer.elapsed().as_nanos() as u64;
+
+    let chunk_size = workload.ops.len().div_ceil(threads).max(1);
+    let chunks: Vec<&[Op]> = workload.ops.chunks(chunk_size).collect();
+
+    struct ThreadOutcome {
+        hits: usize,
+        scanned: usize,
+        read_samples: Vec<u64>,
+        write_samples: Vec<u64>,
+    }
+
+    let shared: &I = index;
+    let timer = Instant::now();
+    let outcomes: Vec<ThreadOutcome> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let mut hits = 0usize;
+                    let mut scanned = 0usize;
+                    let mut read_samples = Vec::new();
+                    let mut write_samples = Vec::new();
+                    let mut scan_buf: Vec<(u64, u64)> = Vec::new();
+                    for (i, op) in chunk.iter().enumerate() {
+                        let sample = i % LATENCY_SAMPLE_RATE == 0;
+                        let start = if sample { Some(Instant::now()) } else { None };
+                        match *op {
+                            Op::Get(k) => {
+                                if shared.get(k).is_some() {
+                                    hits += 1;
+                                }
+                            }
+                            Op::Insert(k, v) => {
+                                shared.insert(k, v);
+                            }
+                            Op::Update(k, v) => {
+                                shared.update(k, v);
+                            }
+                            Op::Remove(k) => {
+                                shared.remove(k);
+                            }
+                            Op::Scan(k, count) => {
+                                scan_buf.clear();
+                                scanned += shared.range(RangeSpec::new(k, count), &mut scan_buf);
+                            }
+                        }
+                        if let Some(start) = start {
+                            let ns = start.elapsed().as_nanos() as u64;
+                            match op.kind() {
+                                OpKind::Get | OpKind::Scan => read_samples.push(ns),
+                                _ => write_samples.push(ns),
+                            }
+                        }
+                    }
+                    ThreadOutcome {
+                        hits,
+                        scanned,
+                        read_samples,
+                        write_samples,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("worker thread panicked");
+    let elapsed_ns = timer.elapsed().as_nanos() as u64;
+
+    let mut hits = 0;
+    let mut scanned = 0;
+    let mut read_samples = Vec::new();
+    let mut write_samples = Vec::new();
+    for o in outcomes {
+        hits += o.hits;
+        scanned += o.scanned;
+        read_samples.extend(o.read_samples);
+        write_samples.extend(o.write_samples);
+    }
+
+    RunResult {
+        index: index.meta().name.to_string(),
+        workload: workload.name.clone(),
+        threads,
+        ops: workload.ops.len(),
+        elapsed_ns,
+        bulk_load_ns,
+        hits,
+        scanned_keys: scanned,
+        read_latency: LatencySummary::from_samples(read_samples),
+        write_latency: LatencySummary::from_samples(write_samples),
+        memory_bytes: index.memory_usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::WorkloadBuilder;
+    use crate::spec::WriteRatio;
+    use gre_core::index::MutexIndex;
+    use gre_core::{IndexMeta, Payload};
+    use std::collections::BTreeMap;
+
+    /// Reference index used to exercise the runner.
+    #[derive(Default)]
+    struct MapIndex {
+        map: BTreeMap<u64, Payload>,
+    }
+
+    impl Index<u64> for MapIndex {
+        fn bulk_load(&mut self, entries: &[(u64, Payload)]) {
+            self.map = entries.iter().copied().collect();
+        }
+        fn get(&self, key: u64) -> Option<Payload> {
+            self.map.get(&key).copied()
+        }
+        fn insert(&mut self, key: u64, value: Payload) -> bool {
+            self.map.insert(key, value).is_none()
+        }
+        fn remove(&mut self, key: u64) -> Option<Payload> {
+            self.map.remove(&key)
+        }
+        fn range(&self, spec: RangeSpec<u64>, out: &mut Vec<(u64, Payload)>) -> usize {
+            let before = out.len();
+            out.extend(
+                self.map
+                    .range(spec.start..)
+                    .take(spec.count)
+                    .map(|(k, v)| (*k, *v)),
+            );
+            out.len() - before
+        }
+        fn len(&self) -> usize {
+            self.map.len()
+        }
+        fn memory_usage(&self) -> usize {
+            self.map.len() * 48
+        }
+        fn meta(&self) -> IndexMeta {
+            IndexMeta {
+                name: "map",
+                learned: false,
+                concurrent: false,
+                supports_delete: true,
+                supports_range: true,
+            }
+        }
+    }
+
+    fn keys(n: u64) -> Vec<u64> {
+        (1..=n).map(|i| i * 13).collect()
+    }
+
+    #[test]
+    fn single_threaded_run_counts_hits() {
+        let b = WorkloadBuilder::new(1);
+        let w = b.insert_workload("test", &keys(2000), WriteRatio::ReadOnly);
+        let mut idx = MapIndex::default();
+        let r = run_single(&mut idx, &w);
+        assert_eq!(r.ops, w.ops.len());
+        assert_eq!(r.hits, w.ops.len(), "all read-only lookups must hit");
+        assert!(r.throughput_mops() > 0.0);
+        assert!(r.memory_bytes > 0);
+        assert_eq!(r.threads, 1);
+    }
+
+    #[test]
+    fn balanced_run_ends_with_all_keys_present() {
+        let b = WorkloadBuilder::new(2);
+        let all = keys(2000);
+        let w = b.insert_workload("test", &all, WriteRatio::Balanced);
+        let mut idx = MapIndex::default();
+        run_single(&mut idx, &w);
+        assert_eq!(idx.len(), all.len());
+    }
+
+    #[test]
+    fn scan_workload_counts_keys() {
+        let b = WorkloadBuilder::new(3);
+        let w = b.range_workload("test", &keys(1000), 50, 20);
+        let mut idx = MapIndex::default();
+        let r = run_single(&mut idx, &w);
+        assert!(r.scanned_keys > 0);
+        assert!(r.scan_throughput_mkeys() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_run_matches_single_thread_outcome() {
+        let b = WorkloadBuilder::new(4);
+        let all = keys(4000);
+        let w = b.insert_workload("test", &all, WriteRatio::Balanced);
+        let mut conc = MutexIndex::new(MapIndex::default(), "map-mutex");
+        let r = run_concurrent(&mut conc, &w, 4);
+        assert_eq!(r.threads, 4);
+        assert_eq!(ConcurrentIndex::len(&conc), all.len());
+        assert!(r.read_latency.samples > 0);
+        assert!(r.write_latency.samples > 0);
+    }
+
+    #[test]
+    fn latency_summary_statistics() {
+        let s = LatencySummary::from_samples(vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 1000]);
+        assert_eq!(s.samples, 10);
+        assert_eq!(s.max_ns, 1000);
+        assert!(s.p999_ns >= s.p99_ns && s.p99_ns >= s.p50_ns);
+        assert!(s.std_ns > 0.0);
+        assert!(s.mean_ns > 0.0);
+        let empty = LatencySummary::from_samples(vec![]);
+        assert_eq!(empty.samples, 0);
+        assert_eq!(empty.p999_ns, 0);
+    }
+
+    #[test]
+    fn delete_workload_shrinks_the_index() {
+        let b = WorkloadBuilder::new(5);
+        let all = keys(2000);
+        let w = b.delete_workload("test", &all, 0.5);
+        let mut idx = MapIndex::default();
+        run_single(&mut idx, &w);
+        assert_eq!(idx.len(), all.len() - all.len() / 2);
+    }
+}

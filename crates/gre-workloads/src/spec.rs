@@ -1,0 +1,189 @@
+//! Workload and operation types.
+
+use gre_core::Payload;
+use serde::{Deserialize, Serialize};
+
+/// A single request issued against an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Point lookup of a key.
+    Get(u64),
+    /// Insert a key with a payload.
+    Insert(u64, Payload),
+    /// Update the payload of an (expected-present) key in place.
+    Update(u64, Payload),
+    /// Delete a key.
+    Remove(u64),
+    /// Range scan: fetch `count` keys starting from `start`.
+    Scan(u64, usize),
+}
+
+impl Op {
+    /// The kind of this operation (used for per-kind latency sampling).
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Get(_) => OpKind::Get,
+            Op::Insert(_, _) => OpKind::Insert,
+            Op::Update(_, _) => OpKind::Update,
+            Op::Remove(_) => OpKind::Remove,
+            Op::Scan(_, _) => OpKind::Scan,
+        }
+    }
+
+    /// Whether the operation mutates the index.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Insert(_, _) | Op::Update(_, _) | Op::Remove(_))
+    }
+}
+
+/// Operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    Get,
+    Insert,
+    Update,
+    Remove,
+    Scan,
+}
+
+/// The five write-ratio points of the paper's workload axis (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WriteRatio {
+    /// Read-Only (0% writes): bulk load everything, lookups only.
+    ReadOnly,
+    /// Read-Intensive (20% writes).
+    ReadIntensive,
+    /// Balanced (50% writes).
+    Balanced,
+    /// Write-Heavy (80% writes).
+    WriteHeavy,
+    /// Write-Only (100% writes).
+    WriteOnly,
+}
+
+impl WriteRatio {
+    /// All five points, in heatmap row order.
+    pub const ALL: [WriteRatio; 5] = [
+        WriteRatio::ReadOnly,
+        WriteRatio::ReadIntensive,
+        WriteRatio::Balanced,
+        WriteRatio::WriteHeavy,
+        WriteRatio::WriteOnly,
+    ];
+
+    /// Fraction of write operations in the request stream.
+    pub fn write_fraction(&self) -> f64 {
+        match self {
+            WriteRatio::ReadOnly => 0.0,
+            WriteRatio::ReadIntensive => 0.2,
+            WriteRatio::Balanced => 0.5,
+            WriteRatio::WriteHeavy => 0.8,
+            WriteRatio::WriteOnly => 1.0,
+        }
+    }
+
+    /// Display label ("0%", "20%", …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WriteRatio::ReadOnly => "0%",
+            WriteRatio::ReadIntensive => "20%",
+            WriteRatio::Balanced => "50%",
+            WriteRatio::WriteHeavy => "80%",
+            WriteRatio::WriteOnly => "100%",
+        }
+    }
+}
+
+/// A fully materialized workload: the entries to bulk load plus the request
+/// stream to execute (and time) afterwards.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    /// Human-readable name, e.g. `"osm/balanced"`.
+    pub name: String,
+    /// Entries bulk-loaded before the timed phase, sorted by key.
+    pub bulk: Vec<(u64, Payload)>,
+    /// The timed request stream.
+    pub ops: Vec<Op>,
+}
+
+impl Workload {
+    /// Number of write operations in the request stream.
+    pub fn write_ops(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_write()).count()
+    }
+
+    /// Number of read operations (lookups + scans) in the request stream.
+    pub fn read_ops(&self) -> usize {
+        self.ops.len() - self.write_ops()
+    }
+
+    /// The observed write fraction of the request stream.
+    pub fn write_fraction(&self) -> f64 {
+        if self.ops.is_empty() {
+            0.0
+        } else {
+            self.write_ops() as f64 / self.ops.len() as f64
+        }
+    }
+}
+
+/// The payload stored for a key in all generated workloads: a cheap,
+/// deterministic function of the key so correctness checks can recompute it.
+#[inline]
+pub fn payload_for(key: u64) -> Payload {
+    key ^ 0x5bd1_e995_9e37_79b9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_kinds_and_write_classification() {
+        assert_eq!(Op::Get(1).kind(), OpKind::Get);
+        assert_eq!(Op::Insert(1, 2).kind(), OpKind::Insert);
+        assert_eq!(Op::Update(1, 2).kind(), OpKind::Update);
+        assert_eq!(Op::Remove(1).kind(), OpKind::Remove);
+        assert_eq!(Op::Scan(1, 10).kind(), OpKind::Scan);
+        assert!(!Op::Get(1).is_write());
+        assert!(!Op::Scan(1, 10).is_write());
+        assert!(Op::Insert(1, 2).is_write());
+        assert!(Op::Update(1, 2).is_write());
+        assert!(Op::Remove(1).is_write());
+    }
+
+    #[test]
+    fn write_ratio_fractions_match_labels() {
+        assert_eq!(WriteRatio::ALL.len(), 5);
+        for wr in WriteRatio::ALL {
+            let f = wr.write_fraction();
+            assert!((0.0..=1.0).contains(&f));
+        }
+        assert_eq!(WriteRatio::Balanced.write_fraction(), 0.5);
+        assert_eq!(WriteRatio::WriteOnly.label(), "100%");
+    }
+
+    #[test]
+    fn workload_counts() {
+        let w = Workload {
+            name: "t".into(),
+            bulk: vec![(1, 1)],
+            ops: vec![Op::Get(1), Op::Insert(2, 2), Op::Remove(1), Op::Scan(0, 5)],
+        };
+        assert_eq!(w.write_ops(), 2);
+        assert_eq!(w.read_ops(), 2);
+        assert!((w.write_fraction() - 0.5).abs() < 1e-9);
+        let empty = Workload {
+            name: "e".into(),
+            bulk: vec![],
+            ops: vec![],
+        };
+        assert_eq!(empty.write_fraction(), 0.0);
+    }
+
+    #[test]
+    fn payload_is_deterministic_and_key_dependent() {
+        assert_eq!(payload_for(5), payload_for(5));
+        assert_ne!(payload_for(5), payload_for(6));
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: build a learned index, query it, update it, scan it.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use gre::learned::{Alex, Lipp};
+use gre::traditional::Art;
+use gre_core::{Index, RangeSpec};
+
+fn main() {
+    // 1M synthetic entries (key, payload), sorted by key.
+    let entries: Vec<(u64, u64)> = (0..1_000_000u64).map(|i| (i * 3 + 1, i)).collect();
+
+    // Bulk load ALEX and look a few keys up.
+    let mut alex = Alex::<u64>::new();
+    alex.bulk_load(&entries);
+    assert_eq!(alex.get(301), Some(100));
+    println!("ALEX holds {} keys in {:.1} MB", alex.len(), alex.memory_usage() as f64 / 1e6);
+
+    // Insert new keys: ALEX finds gaps or shifts, LIPP chains nodes.
+    let mut lipp = Lipp::<u64>::new();
+    lipp.bulk_load(&entries);
+    for k in 0..10_000u64 {
+        alex.insert(k * 3 + 2, k);
+        lipp.insert(k * 3 + 2, k);
+    }
+    println!(
+        "after 10k inserts: ALEX shifted {:.1} keys/insert, LIPP created {:.2} nodes/insert",
+        alex.stats().avg_keys_shifted_per_insert(),
+        lipp.stats().avg_nodes_created_per_insert()
+    );
+
+    // Range scan: 10 keys starting at 1_000.
+    let mut out = Vec::new();
+    alex.range(RangeSpec::new(1_000, 10), &mut out);
+    println!("scan from 1000: {:?}", out.iter().map(|e| e.0).collect::<Vec<_>>());
+
+    // A traditional baseline for comparison.
+    let mut art = Art::<u64>::new();
+    art.bulk_load(&entries);
+    println!("ART holds {} keys in {:.1} MB", art.len(), art.memory_usage() as f64 / 1e6);
+}

@@ -1,0 +1,77 @@
+//! Property-based tests: every index must behave exactly like a `BTreeMap`
+//! under arbitrary operation sequences (the core correctness invariant of the
+//! whole suite).
+
+use gre::learned::{Alex, DynamicPgm, Lipp};
+use gre::traditional::{Art, BPlusTree, Hot, Wormhole};
+use gre_core::{Index, RangeSpec};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Range(u64, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..2_000, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0u64..2_000).prop_map(Op::Remove),
+        (0u64..2_000).prop_map(Op::Get),
+        ((0u64..2_000), (0usize..64)).prop_map(|(k, c)| Op::Range(k, c)),
+    ]
+}
+
+fn check_against_model<I: Index<u64>>(mut index: I, ops: &[Op], bulk: &[(u64, u64)]) {
+    let mut model: BTreeMap<u64, u64> = bulk.iter().copied().collect();
+    index.bulk_load(bulk);
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                assert_eq!(index.insert(k, v), model.insert(k, v).is_none(), "insert {k}");
+            }
+            Op::Remove(k) => {
+                assert_eq!(index.remove(k), model.remove(&k), "remove {k}");
+            }
+            Op::Get(k) => {
+                assert_eq!(index.get(k), model.get(&k).copied(), "get {k}");
+            }
+            Op::Range(k, c) => {
+                let mut out = Vec::new();
+                index.range(RangeSpec::new(k, c), &mut out);
+                let expected: Vec<(u64, u64)> =
+                    model.range(k..).take(c).map(|(a, b)| (*a, *b)).collect();
+                assert_eq!(out, expected, "range from {k} count {c}");
+            }
+        }
+    }
+    assert_eq!(index.len(), model.len());
+}
+
+fn bulk_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::btree_map(0u64..2_000, any::<u64>(), 0..400)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+macro_rules! model_test {
+    ($name:ident, $ctor:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn $name(bulk in bulk_strategy(), ops in proptest::collection::vec(op_strategy(), 1..300)) {
+                check_against_model($ctor, &ops, &bulk);
+            }
+        }
+    };
+}
+
+model_test!(alex_matches_btreemap, Alex::<u64>::new());
+model_test!(lipp_matches_btreemap, Lipp::<u64>::new());
+model_test!(pgm_matches_btreemap, DynamicPgm::<u64>::new());
+model_test!(btree_matches_btreemap, BPlusTree::<u64>::new());
+model_test!(art_matches_btreemap, Art::<u64>::new());
+model_test!(hot_matches_btreemap, Hot::<u64>::new());
+model_test!(wormhole_matches_btreemap, Wormhole::<u64>::new());
