@@ -1,6 +1,9 @@
 //! Figure 11: tail latency (99.9th percentile and standard deviation) of
 //! inserts, single-threaded and multi-threaded.
-use gre_bench::{registry::{concurrent_indexes, single_thread_indexes}, RunOpts};
+use gre_bench::{
+    registry::{concurrent_indexes, single_thread_indexes},
+    RunOpts,
+};
 use gre_datasets::Dataset;
 use gre_workloads::{run_concurrent, run_single, WorkloadBuilder, WriteRatio};
 
@@ -20,7 +23,11 @@ fn main() {
             let r = run_single(index.as_mut(), &workload);
             println!(
                 "{:<10} {:<12} {:>9} {:>12} {:>10.0}",
-                ds.name(), entry.name, 1, r.write_latency.p999_ns, r.write_latency.std_ns
+                ds.name(),
+                entry.name,
+                1,
+                r.write_latency.p999_ns,
+                r.write_latency.std_ns
             );
         }
         for entry in concurrent_indexes(true) {
@@ -28,7 +35,11 @@ fn main() {
             let r = run_concurrent(index.as_mut(), &workload, opts.threads);
             println!(
                 "{:<10} {:<12} {:>9} {:>12} {:>10.0}",
-                ds.name(), entry.name, opts.threads, r.write_latency.p999_ns, r.write_latency.std_ns
+                ds.name(),
+                entry.name,
+                opts.threads,
+                r.write_latency.p999_ns,
+                r.write_latency.std_ns
             );
         }
     }

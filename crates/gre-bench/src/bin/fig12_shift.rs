@@ -15,12 +15,16 @@ fn main() {
         (Dataset::Genome, Dataset::Covid),
     ];
     println!("# Figure 12: throughput change (%) under distribution shift vs no shift");
-    println!("{:<22} {:<12} {:>14} {:>14} {:>10}", "shift", "index", "base Mop/s", "shift Mop/s", "change %");
+    println!(
+        "{:<22} {:<12} {:>14} {:>14} {:>10}",
+        "shift", "index", "base Mop/s", "shift Mop/s", "change %"
+    );
     for (x, y) in pairs {
         let keys_x = x.generate(opts.keys, opts.seed);
         let keys_y = y.generate(opts.keys, opts.seed + 1);
         let baseline = builder.insert_workload(&x.name(), &keys_x, WriteRatio::Balanced);
-        let shifted = builder.shift_workload(&format!("{}->{}", x.name(), y.name()), &keys_x, &keys_y);
+        let shifted =
+            builder.shift_workload(&format!("{}->{}", x.name(), y.name()), &keys_x, &keys_y);
         for entry in single_thread_indexes() {
             let mut base_index = entry.index;
             let base = run_single(base_index.as_mut(), &baseline);

@@ -24,8 +24,15 @@ fn main() {
             let b = index.stats().mean_insert_breakdown();
             println!(
                 "{:<10} {:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-                ds.name(), entry.name, b.lookup_ns, b.insert_ns, b.smo_ns, b.stat_ns,
-                b.shift_ns, b.chain_ns, b.total_ns()
+                ds.name(),
+                entry.name,
+                b.lookup_ns,
+                b.insert_ns,
+                b.smo_ns,
+                b.stat_ns,
+                b.shift_ns,
+                b.chain_ns,
+                b.total_ns()
             );
         }
     }

@@ -11,10 +11,17 @@ fn main() {
         .into_iter()
         .filter(|t| *t <= opts.threads.max(1) * 2)
         .collect();
-    println!("# Figure 5: scalability (Mop/s); hyper-threaded points are those beyond {} threads", opts.threads);
+    println!(
+        "# Figure 5: scalability (Mop/s); hyper-threaded points are those beyond {} threads",
+        opts.threads
+    );
     for ds in Dataset::DRILLDOWN_DATASETS {
         let keys = ds.generate(opts.keys, opts.seed);
-        for ratio in [WriteRatio::ReadOnly, WriteRatio::Balanced, WriteRatio::WriteOnly] {
+        for ratio in [
+            WriteRatio::ReadOnly,
+            WriteRatio::Balanced,
+            WriteRatio::WriteOnly,
+        ] {
             let workload = builder.insert_workload(&ds.name(), &keys, ratio);
             for entry in concurrent_indexes(true) {
                 let mut row = format!("{:<10} {:<6} {:<10}", ds.name(), ratio.label(), entry.name);

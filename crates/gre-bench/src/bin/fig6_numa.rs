@@ -9,12 +9,24 @@ use gre_workloads::{run_concurrent, WorkloadBuilder, WriteRatio};
 fn main() {
     let opts = RunOpts::from_env();
     let builder = WorkloadBuilder::new(opts.seed);
-    let socket_equivalents: Vec<usize> =
-        vec![2, opts.threads, opts.threads * 2, opts.threads * 3, opts.threads * 4];
-    println!("# Figure 6: socket-count scaling (thread counts {:?})", socket_equivalents);
+    let socket_equivalents: Vec<usize> = vec![
+        2,
+        opts.threads,
+        opts.threads * 2,
+        opts.threads * 3,
+        opts.threads * 4,
+    ];
+    println!(
+        "# Figure 6: socket-count scaling (thread counts {:?})",
+        socket_equivalents
+    );
     for ds in Dataset::DRILLDOWN_DATASETS {
         let keys = ds.generate(opts.keys, opts.seed);
-        for ratio in [WriteRatio::ReadOnly, WriteRatio::Balanced, WriteRatio::WriteOnly] {
+        for ratio in [
+            WriteRatio::ReadOnly,
+            WriteRatio::Balanced,
+            WriteRatio::WriteOnly,
+        ] {
             let workload = builder.insert_workload(&ds.name(), &keys, ratio);
             for entry in concurrent_indexes(true) {
                 let mut row = format!("{:<10} {:<6} {:<10}", ds.name(), ratio.label(), entry.name);

@@ -8,12 +8,19 @@ use gre_workloads::{run_concurrent, WorkloadBuilder, WriteRatio};
 fn main() {
     let opts = RunOpts::from_env();
     let builder = WorkloadBuilder::new(opts.seed);
-    println!("# Figure A: ALEX+ lock granularity (balanced workload, {} threads)", opts.threads);
-    println!("{:<10} {:>18} {:>22}", "dataset", "per-node (Mop/s)", "per-256-records (Mop/s)");
+    println!(
+        "# Figure A: ALEX+ lock granularity (balanced workload, {} threads)",
+        opts.threads
+    );
+    println!(
+        "{:<10} {:>18} {:>22}",
+        "dataset", "per-node (Mop/s)", "per-256-records (Mop/s)"
+    );
     for ds in Dataset::DRILLDOWN_DATASETS {
         let keys = ds.generate(opts.keys, opts.seed);
         let workload = builder.insert_workload(&ds.name(), &keys, WriteRatio::Balanced);
-        let mut per_node = AlexPlus::<u64>::with_config(AlexConfig::default(), LockGranularity::PerNode);
+        let mut per_node =
+            AlexPlus::<u64>::with_config(AlexConfig::default(), LockGranularity::PerNode);
         let mut per_group =
             AlexPlus::<u64>::with_config(AlexConfig::default(), LockGranularity::PerRecordGroup);
         let rn = run_concurrent(&mut per_node, &workload, opts.threads);

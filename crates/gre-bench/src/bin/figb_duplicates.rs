@@ -16,7 +16,10 @@ use std::time::Instant;
 fn main() {
     let opts = RunOpts::from_env();
     let keys = Dataset::Wiki.generate(opts.keys, opts.seed);
-    println!("# Figure B: duplicate handling on wiki ({} keys, duplicates included)", keys.len());
+    println!(
+        "# Figure B: duplicate handling on wiki ({} keys, duplicates included)",
+        keys.len()
+    );
 
     // Inline: composite key = (key << 8) | occurrence (wiki timestamps fit).
     let mut inline: AlexPlus<u64> = AlexPlus::new();
@@ -60,7 +63,10 @@ fn main() {
     let ll_lookup = start.elapsed();
 
     let mops = |n: usize, d: std::time::Duration| n as f64 / d.as_secs_f64() / 1e6;
-    println!("{:<22} {:>16} {:>16}", "variant", "insert Mop/s", "lookup Mop/s");
+    println!(
+        "{:<22} {:>16} {:>16}",
+        "variant", "insert Mop/s", "lookup Mop/s"
+    );
     println!(
         "{:<22} {:>16.3} {:>16.3}",
         "ALEX+ (inline)",

@@ -25,8 +25,12 @@ fn main() {
         let rl = run_single(&mut lipp, &workload);
         println!(
             "{:<10} {:>12} {:>12} {:>14.3e} {:>12.3} {:>12.3}",
-            ds.name(), h.local, h.global, h.single_line_mse,
-            ra.throughput_mops(), rl.throughput_mops()
+            ds.name(),
+            h.local,
+            h.global,
+            h.single_line_mse,
+            ra.throughput_mops(),
+            rl.throughput_mops()
         );
     }
 }

@@ -1,6 +1,9 @@
 //! Figure G (appendix): YCSB A/B/C with Zipfian (0.99) request keys,
 //! single-threaded and multi-threaded.
-use gre_bench::{registry::{concurrent_indexes, single_thread_indexes}, RunOpts};
+use gre_bench::{
+    registry::{concurrent_indexes, single_thread_indexes},
+    RunOpts,
+};
 use gre_datasets::Dataset;
 use gre_workloads::generate::YcsbVariant;
 use gre_workloads::{run_concurrent, run_single, WorkloadBuilder};
@@ -22,7 +25,11 @@ fn main() {
                 let r = run_single(index.as_mut(), &workload);
                 println!(
                     "{:<10} {:<8} {:<12} {:>9} {:>10.3}",
-                    ds.name(), variant.name(), entry.name, 1, r.throughput_mops()
+                    ds.name(),
+                    variant.name(),
+                    entry.name,
+                    1,
+                    r.throughput_mops()
                 );
             }
             for entry in concurrent_indexes(true) {
@@ -30,7 +37,11 @@ fn main() {
                 let r = run_concurrent(index.as_mut(), &workload, opts.threads);
                 println!(
                     "{:<10} {:<8} {:<12} {:>9} {:>10.3}",
-                    ds.name(), variant.name(), entry.name, opts.threads, r.throughput_mops()
+                    ds.name(),
+                    variant.name(),
+                    entry.name,
+                    opts.threads,
+                    r.throughput_mops()
                 );
             }
         }

@@ -19,7 +19,10 @@ fn main() {
         "LIPP / LIPP+      density: {}  max node slots: {}  inserted/conflict ratio: {}/{}",
         lipp.density, lipp.max_node_slots, lipp.inserted_ratio, lipp.conflict_ratio
     );
-    println!("PGM-Index         error bound: {}", gre_learned::pgm::DEFAULT_EPSILON);
+    println!(
+        "PGM-Index         error bound: {}",
+        gre_learned::pgm::DEFAULT_EPSILON
+    );
     println!(
         "XIndex            error bound: {}  delta size: {}  group size: {}",
         xindex.error_bound, xindex.delta_size, xindex.group_size

@@ -24,7 +24,11 @@ fn main() {
         println!("\n# Figure 1: CDF of {}", ds.name());
         for p in 0..=16 {
             let idx = (p * (keys.len() - 1)) / 16;
-            println!("  {:>6.2}% of keys <= {}", 100.0 * p as f64 / 16.0, keys[idx]);
+            println!(
+                "  {:>6.2}% of keys <= {}",
+                100.0 * p as f64 / 16.0,
+                keys[idx]
+            );
         }
     }
 }

@@ -10,10 +10,9 @@ use crate::runopts::RunOpts;
 use gre_datasets::Dataset;
 use gre_pla::{DataHardness, HardnessConfig};
 use gre_workloads::{run_concurrent, run_single, Workload, WorkloadBuilder, WriteRatio};
-use serde::{Deserialize, Serialize};
 
 /// One heatmap cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HeatmapCell {
     pub dataset: String,
     pub write_ratio: String,
@@ -30,7 +29,7 @@ pub struct HeatmapCell {
 }
 
 /// A full heatmap.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Heatmap {
     pub title: String,
     pub cells: Vec<HeatmapCell>,
@@ -84,7 +83,57 @@ impl Heatmap {
 
     /// Serialize to JSON for GRE-style plotting scripts.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("heatmap serializes")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"dataset\": {}, \"write_ratio\": {}, \"hardness_local\": {}, \
+                 \"hardness_global\": {}, \"best_learned\": {}, \"best_learned_mops\": {}, \
+                 \"best_traditional\": {}, \"best_traditional_mops\": {}, \"ratio\": {}}}{comma}\n",
+                json_string(&c.dataset),
+                json_string(&c.write_ratio),
+                c.hardness_local,
+                c.hardness_global,
+                json_string(&c.best_learned),
+                json_f64(c.best_learned_mops),
+                json_string(&c.best_traditional),
+                json_f64(c.best_traditional_mops),
+                json_f64(c.ratio),
+            ));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+/// Quote and escape a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an `f64` as a JSON number; infinities (possible in degenerate
+/// heatmap ratios) have no JSON representation and are emitted as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -234,12 +283,7 @@ mod tests {
             seed: 1,
             quick: true,
         };
-        let hm = single_thread_heatmap(
-            "test",
-            &[Dataset::Covid],
-            &opts,
-            HeatmapMode::Inserts,
-        );
+        let hm = single_thread_heatmap("test", &[Dataset::Covid], &opts, HeatmapMode::Inserts);
         assert_eq!(hm.cells.len(), WriteRatio::ALL.len());
         for c in &hm.cells {
             assert!(c.best_learned_mops > 0.0);

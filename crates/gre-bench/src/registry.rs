@@ -146,7 +146,10 @@ mod tests {
         assert_eq!(single.len(), 8);
         assert!(single.iter().any(|e| e.name == "ALEX"));
         assert!(single.iter().any(|e| e.name == "ART"));
-        let learned = single.iter().filter(|e| e.kind == IndexKind::Learned).count();
+        let learned = single
+            .iter()
+            .filter(|e| e.kind == IndexKind::Learned)
+            .count();
         assert_eq!(learned, 3);
 
         let conc = concurrent_indexes(true);

@@ -1,0 +1,64 @@
+//! Registry smoke tests: fast-failing coverage that every registered index
+//! survives a tiny insert/lookup round-trip, so registry regressions (a
+//! renamed entry, a broken constructor, a trait-impl typo) surface in
+//! milliseconds without the heavy end-to-end suite.
+
+use gre_bench::registry::{concurrent_indexes, single_thread_indexes};
+
+const TINY: u64 = 64;
+
+fn tiny_entries() -> Vec<(u64, u64)> {
+    (0..TINY).map(|i| (i * 3 + 1, i + 100)).collect()
+}
+
+#[test]
+fn registries_are_non_empty() {
+    assert!(!single_thread_indexes().is_empty());
+    assert!(!concurrent_indexes(true).is_empty());
+    assert!(!concurrent_indexes(false).is_empty());
+}
+
+#[test]
+fn registry_names_are_unique() {
+    let mut names: Vec<&str> = single_thread_indexes().iter().map(|e| e.name).collect();
+    names.sort_unstable();
+    let len = names.len();
+    names.dedup();
+    assert_eq!(names.len(), len, "duplicate single-thread registry name");
+
+    let mut names: Vec<&str> = concurrent_indexes(true).iter().map(|e| e.name).collect();
+    names.sort_unstable();
+    let len = names.len();
+    names.dedup();
+    assert_eq!(names.len(), len, "duplicate concurrent registry name");
+}
+
+#[test]
+fn every_single_thread_entry_round_trips() {
+    let entries = tiny_entries();
+    for mut e in single_thread_indexes() {
+        e.index.bulk_load(&entries);
+        assert_eq!(e.index.len(), entries.len(), "{} bulk load", e.name);
+        for &(k, v) in &entries {
+            assert_eq!(e.index.get(k), Some(v), "{} lookup {k}", e.name);
+        }
+        assert!(e.index.insert(2, 999), "{} fresh insert", e.name);
+        assert_eq!(e.index.get(2), Some(999), "{} read-own-insert", e.name);
+        assert_eq!(e.index.get(0), None, "{} absent key", e.name);
+    }
+}
+
+#[test]
+fn every_concurrent_entry_round_trips() {
+    let entries = tiny_entries();
+    for mut e in concurrent_indexes(true) {
+        e.index.bulk_load(&entries);
+        assert_eq!(e.index.len(), entries.len(), "{} bulk load", e.name);
+        for &(k, v) in &entries {
+            assert_eq!(e.index.get(k), Some(v), "{} lookup {k}", e.name);
+        }
+        assert!(e.index.insert(2, 999), "{} fresh insert", e.name);
+        assert_eq!(e.index.get(2), Some(999), "{} read-own-insert", e.name);
+        assert_eq!(e.index.get(0), None, "{} absent key", e.name);
+    }
+}

@@ -51,9 +51,15 @@ mod tests {
         assert!(GreError::UnsortedBulkLoad.to_string().contains("ascending"));
         assert!(GreError::DuplicateKey.to_string().contains("duplicate"));
         assert!(GreError::KeyNotFound.to_string().contains("not found"));
-        assert!(GreError::Unsupported("delete").to_string().contains("delete"));
-        assert!(GreError::InvalidConfig("x".into()).to_string().contains('x'));
-        assert!(GreError::InvalidWorkload("y".into()).to_string().contains('y'));
+        assert!(GreError::Unsupported("delete")
+            .to_string()
+            .contains("delete"));
+        assert!(GreError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(GreError::InvalidWorkload("y".into())
+            .to_string()
+            .contains('y'));
     }
 
     #[test]

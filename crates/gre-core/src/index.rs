@@ -230,7 +230,12 @@ mod tests {
         }
         fn range(&self, spec: RangeSpec<u64>, out: &mut Vec<(u64, Payload)>) -> usize {
             let before = out.len();
-            out.extend(self.map.range(spec.start..).take(spec.count).map(|(k, v)| (*k, *v)));
+            out.extend(
+                self.map
+                    .range(spec.start..)
+                    .take(spec.count)
+                    .map(|(k, v)| (*k, *v)),
+            );
             out.len() - before
         }
         fn len(&self) -> usize {
@@ -283,17 +288,16 @@ mod tests {
 
         // Concurrent hammering through the adapter must not lose updates.
         let wrapped = std::sync::Arc::new(wrapped);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let w = std::sync::Arc::clone(&wrapped);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..250u64 {
                         w.insert(1000 + t * 1000 + i, i);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(wrapped.len(), 2 + 4 * 250);
     }
 

@@ -6,11 +6,10 @@
 //! indexes themselves to account where time and work go. Every index embeds
 //! an [`OpCounters`] and fills an [`InsertStats`] for its most recent insert.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Phases of an insert operation, matching the stacked bars of Figure 3.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct InsertBreakdown {
     /// Pre-insertion key lookup (locating the slot), nanoseconds.
     pub lookup_ns: u64,
@@ -65,7 +64,7 @@ impl InsertBreakdown {
 }
 
 /// Work counters for a single insert (Table 3).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct InsertStats {
     /// Nodes traversed to reach the target node.
     pub nodes_traversed: u64,
@@ -80,7 +79,7 @@ pub struct InsertStats {
 }
 
 /// Monotonically accumulated counters reported by `Index::stats()`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OpCounters {
     pub lookups: u64,
     pub inserts: u64,
@@ -133,7 +132,7 @@ impl OpCounters {
 
 /// A point-in-time snapshot of an index's accumulated statistics, together
 /// with the derived per-insert averages the paper tabulates.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StatsSnapshot {
     pub counters: OpCounters,
 }

@@ -217,19 +217,17 @@ mod tests {
 
     #[test]
     fn concurrent_writers_serialize() {
-        let lock = Arc::new(OptLock::new());
-        let counter = Arc::new(std::cell::UnsafeCell::new(0u64));
         // SAFETY wrapper: all mutation happens under the lock.
-        struct SharedCell(std::sync::Arc<std::cell::UnsafeCell<u64>>);
-        unsafe impl Send for SharedCell {}
+        struct SharedCell(std::cell::UnsafeCell<u64>);
         unsafe impl Sync for SharedCell {}
-        let shared = Arc::new(SharedCell(Arc::clone(&counter)));
+        let lock = Arc::new(OptLock::new());
+        let shared = Arc::new(SharedCell(std::cell::UnsafeCell::new(0u64)));
 
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..4 {
                 let lock = Arc::clone(&lock);
                 let shared = Arc::clone(&shared);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..1000 {
                         let _g = lock.write();
                         // SAFETY: exclusive access guaranteed by the guard.
@@ -239,9 +237,8 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
-        let total = unsafe { *counter.get() };
+        });
+        let total = unsafe { *shared.0.get() };
         assert_eq!(total, 4000);
         // Version advanced once per write release.
         assert!(lock.raw() >= 4000 * VERSION_STEP);

@@ -2,10 +2,9 @@
 
 use crate::shapes;
 use gre_pla::{synth, DataHardness, HardnessConfig, SynthCorner};
-use serde::{Deserialize, Serialize};
 
 /// The datasets of Table 2 plus the synthetic corner datasets of §7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataset {
     /// Amazon book sales popularity (SOSD).
     Books,
@@ -34,7 +33,7 @@ pub enum Dataset {
 }
 
 /// Static description of a dataset, used when printing Table 2.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetProfile {
     pub name: String,
     pub description: String,
@@ -61,8 +60,12 @@ impl Dataset {
     /// The four datasets used in the drill-down figures (Fig 3, 5, 6, 8–11, 13):
     /// two easy (covid, libio), the locally hardest (genome) and the globally
     /// hardest (osm).
-    pub const DRILLDOWN_DATASETS: [Dataset; 4] =
-        [Dataset::Covid, Dataset::Libio, Dataset::Genome, Dataset::Osm];
+    pub const DRILLDOWN_DATASETS: [Dataset; 4] = [
+        Dataset::Covid,
+        Dataset::Libio,
+        Dataset::Genome,
+        Dataset::Osm,
+    ];
 
     /// All real datasets (everything except the synthetic corners).
     pub const ALL_REAL: [Dataset; 11] = [

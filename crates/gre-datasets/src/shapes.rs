@@ -22,7 +22,10 @@ pub fn finalize(mut keys: Vec<u64>, n: usize) -> Vec<u64> {
         for _ in 0..missing {
             let i = rng.gen_range(0..keys.len().max(1));
             let base = keys.get(i).copied().unwrap_or(0);
-            let next = keys.get(i + 1).copied().unwrap_or(base.saturating_add(1 << 20));
+            let next = keys
+                .get(i + 1)
+                .copied()
+                .unwrap_or(base.saturating_add(1 << 20));
             if next > base + 1 {
                 extra.push(base + 1 + (rng.gen::<u64>() % (next - base - 1).max(1)));
             } else {
@@ -163,7 +166,12 @@ pub fn timestamps_with_duplicates(n: usize, dup_fraction: f64, seed: u64) -> Vec
 
 /// Near-contiguous identifiers with occasional gaps (libio / history /
 /// stack-like auto-increment IDs with deletions).
-pub fn auto_increment_with_gaps(n: usize, gap_probability: f64, max_gap: u64, seed: u64) -> Vec<u64> {
+pub fn auto_increment_with_gaps(
+    n: usize,
+    gap_probability: f64,
+    max_gap: u64,
+    seed: u64,
+) -> Vec<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut keys = Vec::with_capacity(n);
     let mut cursor: u64 = 1;
@@ -182,7 +190,10 @@ mod tests {
     use super::*;
 
     fn assert_sorted_unique(keys: &[u64]) {
-        assert!(keys.windows(2).all(|w| w[0] < w[1]), "not strictly ascending");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "not strictly ascending"
+        );
     }
 
     #[test]

@@ -161,7 +161,7 @@ impl<K: Key> DataNode<K> {
             // Answer is at or before pred: grow a bracket to the left.
             let mut step = 1usize;
             let mut left = pred;
-            while left > 0 && above(self, left.saturating_sub(step).max(0)) {
+            while left > 0 && above(self, left.saturating_sub(step)) {
                 left = left.saturating_sub(step);
                 step *= 2;
                 iters += 1;
@@ -201,16 +201,6 @@ impl<K: Key> DataNode<K> {
             p -= 1;
         }
         p
-    }
-
-    #[cfg(test)]
-    fn get(&mut self, key: K) -> Option<Payload> {
-        let lb = self.lower_bound(key);
-        if lb < self.capacity() && self.occupied[lb] && self.keys[lb] == key {
-            Some(self.values[lb])
-        } else {
-            None
-        }
     }
 
     /// Insert. Returns `(newly_inserted, keys_shifted)` or `Err(())` if the
@@ -439,7 +429,8 @@ impl<K: Key> Index<K> for Alex<K> {
         self.boundaries.clear();
         if entries.is_empty() {
             self.boundaries.push(K::MIN);
-            self.nodes.push(DataNode::build(&[], self.config.init_density));
+            self.nodes
+                .push(DataNode::build(&[], self.config.init_density));
             self.retrain_inner();
             return;
         }
@@ -650,7 +641,11 @@ mod tests {
         let mut alex = Alex::new();
         alex.bulk_load(&entries(5_000));
         for i in 0..5_000u64 {
-            assert!(alex.insert(i * 13 + 8, i + 100_000), "insert {}", i * 13 + 8);
+            assert!(
+                alex.insert(i * 13 + 8, i + 100_000),
+                "insert {}",
+                i * 13 + 8
+            );
         }
         assert_eq!(alex.len(), 10_000);
         for i in (0..5_000).step_by(97) {
@@ -716,7 +711,11 @@ mod tests {
             x ^= x << 17;
             let key = x % 10_000;
             match x % 3 {
-                0 => assert_eq!(alex.insert(key, i), model.insert(key, i).is_none(), "insert {key}"),
+                0 => assert_eq!(
+                    alex.insert(key, i),
+                    model.insert(key, i).is_none(),
+                    "insert {key}"
+                ),
                 1 => assert_eq!(alex.remove(key), model.remove(&key), "remove {key}"),
                 _ => assert_eq!(alex.get(key), model.get(&key).copied(), "get {key}"),
             }

@@ -61,7 +61,9 @@ impl<K: Key> AlexPlus<K> {
                 .map(|_| RwLock::new(Alex::with_config(config)))
                 .collect(),
             boundaries: Vec::new(),
-            record_locks: (0..DEFAULT_PARTITIONS * 16).map(|_| Mutex::new(())).collect(),
+            record_locks: (0..DEFAULT_PARTITIONS * 16)
+                .map(|_| Mutex::new(()))
+                .collect(),
             granularity,
             name: "ALEX+",
         }
@@ -148,7 +150,10 @@ impl<K: Key> ConcurrentIndex<K> for AlexPlus<K> {
     }
 
     fn memory_usage(&self) -> usize {
-        self.partitions.iter().map(|p| p.read().memory_usage()).sum()
+        self.partitions
+            .iter()
+            .map(|p| p.read().memory_usage())
+            .sum()
     }
 
     fn meta(&self) -> IndexMeta {
@@ -206,7 +211,10 @@ impl<K: Key> LippPlus<K> {
 
     /// Total number of statistics updates performed (diagnostic).
     pub fn stat_updates(&self) -> u64 {
-        self.path_stats.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+        self.path_stats
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .sum()
     }
 
     #[inline]
@@ -277,7 +285,10 @@ impl<K: Key> ConcurrentIndex<K> for LippPlus<K> {
     }
 
     fn memory_usage(&self) -> usize {
-        self.partitions.iter().map(|p| p.read().memory_usage()).sum()
+        self.partitions
+            .iter()
+            .map(|p| p.read().memory_usage())
+            .sum()
     }
 
     fn meta(&self) -> IndexMeta {
@@ -319,10 +330,10 @@ mod tests {
         let mut a: AlexPlus<u64> = AlexPlus::new();
         ConcurrentIndex::bulk_load(&mut a, &entries(10_000));
         let a = Arc::new(a);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let a = Arc::clone(&a);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..2_000u64 {
                         let key = 1_000_000 + t * 1_000_000 + i * 3;
                         a.insert(key, i);
@@ -330,8 +341,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(a.len(), 10_000 + 8_000);
     }
 
@@ -342,17 +352,16 @@ mod tests {
         assert_eq!(a.granularity(), LockGranularity::PerRecordGroup);
         ConcurrentIndex::bulk_load(&mut a, &entries(5_000));
         let a = Arc::new(a);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let a = Arc::clone(&a);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..1_000u64 {
                         a.insert(10_000_000 + t * 1_000_000 + i, i);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(a.len(), 5_000 + 4_000);
     }
 
@@ -384,10 +393,10 @@ mod tests {
         let mut l: LippPlus<u64> = LippPlus::new();
         ConcurrentIndex::bulk_load(&mut l, &entries(5_000));
         let l = Arc::new(l);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let l = Arc::clone(&l);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..1_500u64 {
                         let key = 2_000_000 + t * 2_000_000 + i;
                         l.insert(key, i);
@@ -395,8 +404,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(l.len(), 5_000 + 6_000);
         assert!(l.stat_updates() >= 6_000 * LIPP_STAT_LEVELS as u64);
     }

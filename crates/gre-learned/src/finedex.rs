@@ -134,7 +134,10 @@ impl<K: Key> FinGroup<K> {
             + self
                 .bins
                 .iter()
-                .map(|b| std::mem::size_of::<Vec<(K, Payload)>>() + b.capacity() * std::mem::size_of::<(K, Payload)>())
+                .map(|b| {
+                    std::mem::size_of::<Vec<(K, Payload)>>()
+                        + b.capacity() * std::mem::size_of::<(K, Payload)>()
+                })
                 .sum::<usize>()
     }
 
@@ -405,10 +408,10 @@ mod tests {
         let mut f = Finedex::new();
         ConcurrentIndex::bulk_load(&mut f, &entries(5_000));
         let f = Arc::new(f);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let f = Arc::clone(&f);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..1_000u64 {
                         let key = 10_000_000 + t * 1_000_000 + i;
                         f.insert(key, i);
@@ -416,8 +419,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(f.len(), 5_000 + 4_000);
         assert_eq!(f.meta().name, "FINEdex");
     }

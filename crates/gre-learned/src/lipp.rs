@@ -41,12 +41,17 @@ impl Default for LippConfig {
 }
 
 /// One slot of a LIPP node: empty, a data entry, or a pointer to a child
-/// subtree (the unified layout).
+/// subtree (the unified layout). `Bucket` is a correctness escape hatch this
+/// reproduction adds: models are trained on `f64` projections of the keys, so
+/// distinct `u64` keys closer than one f64 ulp (~2^11 apart near 2^63) can
+/// never be separated by any linear model — chaining such a group would
+/// recurse forever. Those groups are stored as a small sorted bucket instead.
 #[derive(Debug)]
 enum Slot<K> {
     Empty,
     Data(K, Payload),
     Child(Box<LippNode<K>>),
+    Bucket(Vec<(K, Payload)>),
 }
 
 #[derive(Debug)]
@@ -82,10 +87,12 @@ impl<K: Key> LippNode<K> {
         // or collision chaining could recurse without making progress; fall
         // back to exact two-point interpolation if floating-point precision
         // collapsed the fitted slope.
-        if n >= 2 && keys[0] != keys[n - 1] {
+        if n >= 2 {
             let first = keys[0].to_model_input();
             let last = keys[n - 1].to_model_input();
-            if model.predict_clamped(keys[0], slots_len) == model.predict_clamped(keys[n - 1], slots_len)
+            if first < last
+                && model.predict_clamped(keys[0], slots_len)
+                    == model.predict_clamped(keys[n - 1], slots_len)
             {
                 let slope = (slots_len - 1) as f64 / (last - first);
                 model = LinearModel::new(slope, -slope * first);
@@ -106,7 +113,9 @@ impl<K: Key> LippNode<K> {
         let mut duplicates_collapsed = 0usize;
         let mut group_start = 0usize;
         while group_start < n {
-            let pos = node.model.predict_clamped(entries[group_start].0, slots_len);
+            let pos = node
+                .model
+                .predict_clamped(entries[group_start].0, slots_len);
             let mut group_end = group_start + 1;
             while group_end < n
                 && node.model.predict_clamped(entries[group_end].0, slots_len) == pos
@@ -120,6 +129,27 @@ impl<K: Key> LippNode<K> {
                 let last = group[group.len() - 1];
                 node.slots[pos] = Slot::Data(last.0, last.1);
                 duplicates_collapsed += group.len() - 1;
+            } else if group.len() == n
+                || group[0].0.to_model_input() == group[group.len() - 1].0.to_model_input()
+            {
+                // The model failed to separate this group at all: either the
+                // keys collapse to identical model inputs (distinct u64 keys
+                // within one f64 ulp), or `slope * key + intercept` lost the
+                // separation to catastrophic cancellation (both terms ~1e17
+                // for keys near 2^62, where the f64 ulp exceeds the slot
+                // span). Recursing would rebuild the same single group
+                // forever, so store the group as a sorted overflow bucket.
+                let mut bucket: Vec<(K, Payload)> = group.to_vec();
+                bucket.dedup_by(|b, a| {
+                    if a.0 == b.0 {
+                        a.1 = b.1;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                duplicates_collapsed += group.len() - bucket.len();
+                node.slots[pos] = Slot::Bucket(bucket);
             } else {
                 node.slots[pos] = Slot::Child(Self::build(group, config));
             }
@@ -136,6 +166,7 @@ impl<K: Key> LippNode<K> {
                 Slot::Empty => {}
                 Slot::Data(k, v) => out.push((*k, *v)),
                 Slot::Child(child) => child.collect(out),
+                Slot::Bucket(bucket) => out.extend_from_slice(bucket),
             }
         }
     }
@@ -156,16 +187,30 @@ impl<K: Key> LippNode<K> {
                     }
                 }
                 Slot::Child(child) => child.collect_from(start, count, out),
+                Slot::Bucket(bucket) => {
+                    for &(k, v) in bucket {
+                        if out.len() >= count {
+                            return;
+                        }
+                        if k >= start {
+                            out.push((k, v));
+                        }
+                    }
+                }
             }
         }
     }
 
     fn memory(&self) -> usize {
-        let mut total = std::mem::size_of::<Self>()
-            + self.slots.capacity() * std::mem::size_of::<Slot<K>>();
+        let mut total =
+            std::mem::size_of::<Self>() + self.slots.capacity() * std::mem::size_of::<Slot<K>>();
         for slot in &self.slots {
-            if let Slot::Child(child) = slot {
-                total += child.memory();
+            match slot {
+                Slot::Child(child) => total += child.memory(),
+                Slot::Bucket(bucket) => {
+                    total += bucket.capacity() * std::mem::size_of::<(K, Payload)>()
+                }
+                _ => {}
             }
         }
         total
@@ -261,6 +306,20 @@ impl<K: Key> Lipp<K> {
                     true
                 }
             }
+            Slot::Bucket(bucket) => {
+                // Precision-collapsed keys: maintain the sorted bucket.
+                node.stat_conflicts += 1;
+                match bucket.binary_search_by_key(&key, |e| e.0) {
+                    Ok(i) => {
+                        bucket[i].1 = value;
+                        false
+                    }
+                    Err(i) => {
+                        bucket.insert(i, (key, value));
+                        true
+                    }
+                }
+            }
             Slot::Child(child) => {
                 let created_before = stats.nodes_created;
                 let inserted = Self::insert_rec(child, key, value, config, stats);
@@ -301,6 +360,18 @@ impl<K: Key> Lipp<K> {
                 }
             }
             Slot::Child(child) => Self::remove_rec(child, key),
+            Slot::Bucket(bucket) => match bucket.binary_search_by_key(&key, |e| e.0) {
+                Ok(i) => {
+                    let v = bucket.remove(i).1;
+                    // Collapse a drained bucket so the slot returns to
+                    // model-addressed placement for future inserts.
+                    if bucket.is_empty() {
+                        node.slots[pos] = Slot::Empty;
+                    }
+                    Some(v)
+                }
+                Err(_) => None,
+            },
         };
         if removed.is_some() {
             node.subtree_keys -= 1;
@@ -324,6 +395,12 @@ impl<K: Key> Index<K> for Lipp<K> {
                 Slot::Empty => return None,
                 Slot::Data(k, v) => return (*k == key).then_some(*v),
                 Slot::Child(child) => node = child,
+                Slot::Bucket(bucket) => {
+                    return bucket
+                        .binary_search_by_key(&key, |e| e.0)
+                        .ok()
+                        .map(|i| bucket[i].1)
+                }
             }
         }
     }
@@ -368,8 +445,7 @@ impl<K: Key> Index<K> for Lipp<K> {
 
     fn range(&self, spec: RangeSpec<K>, out: &mut Vec<(K, Payload)>) -> usize {
         let before = out.len();
-        self.root
-            .collect_from(spec.start, before + spec.count, out);
+        self.root.collect_from(spec.start, before + spec.count, out);
         out.len() - before
     }
 
@@ -534,6 +610,48 @@ mod tests {
         // Without the rebuild mechanism the chain would approach the number
         // of inserts; with it the height stays very small.
         assert!(lipp.height() < 64, "height = {}", lipp.height());
+    }
+
+    #[test]
+    fn precision_collapsed_keys_do_not_recurse_forever() {
+        // Distinct u64 keys within one f64 ulp of each other (near 2^62 the
+        // ulp is 512): no linear model can separate them, so they must land
+        // in an overflow bucket instead of chaining unboundedly.
+        let base = 1u64 << 62;
+        let data: Vec<(u64, u64)> = (0..64).map(|i| (base + i, i)).collect();
+        let mut lipp = Lipp::new();
+        lipp.bulk_load(&data);
+        assert_eq!(lipp.len(), 64);
+        for &(k, v) in &data {
+            assert_eq!(lipp.get(k), Some(v), "bulk-loaded {k}");
+        }
+        // Same collapse via the insert path.
+        let mut lipp = Lipp::new();
+        for &(k, v) in &data {
+            assert!(lipp.insert(k, v));
+        }
+        for &(k, v) in &data {
+            assert_eq!(lipp.get(k), Some(v), "inserted {k}");
+        }
+        assert_eq!(lipp.remove(base + 1), Some(1));
+        assert_eq!(lipp.get(base + 1), None);
+        assert_eq!(lipp.len(), 63);
+        let mut out = Vec::new();
+        lipp.range(RangeSpec::new(base, 10), &mut out);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(out.len(), 10);
+        assert!(lipp.height() < 16, "height = {}", lipp.height());
+        // Draining a bucket collapses its slot back to Empty; reinserting
+        // afterwards must still round-trip.
+        for &(k, _) in &data {
+            lipp.remove(k);
+        }
+        assert!(lipp.is_empty());
+        for &(k, v) in &data {
+            assert!(lipp.insert(k, v));
+            assert_eq!(lipp.get(k), Some(v), "reinserted {k}");
+        }
+        assert_eq!(lipp.len(), 64);
     }
 
     #[test]

@@ -85,7 +85,7 @@ impl<K: Key> StaticPgm<K> {
         }
         let seg_idx = self.locate_segment(key);
         let seg = &self.segments[seg_idx];
-        let predicted = seg.model.predict(key) .round();
+        let predicted = seg.model.predict(key).round();
         let eps = self.epsilon as i64 + 2;
         let lo = ((predicted as i64 - eps).max(seg.start_rank as i64)) as usize;
         let hi = ((predicted as i64 + eps + 1).min(seg.end_rank() as i64)) as usize;
@@ -208,8 +208,7 @@ impl<K: Key> DynamicPgm<K> {
             match self.levels[level].take() {
                 None => {
                     // A level deep enough to hold the carry absorbs it.
-                    if carry.len() <= self.buffer_capacity << level
-                        || level + 1 > self.levels.len()
+                    if carry.len() <= self.buffer_capacity << level || level + 1 > self.levels.len()
                     {
                         self.levels[level] = Some(StaticPgm::build(carry, self.epsilon));
                         break;
@@ -345,7 +344,8 @@ impl<K: Key> Index<K> for DynamicPgm<K> {
         // The unsorted buffer can hold several versions of the same key
         // (e.g. an insert followed by a tombstone); only the newest one may
         // participate in the merge.
-        let mut buf_newest: std::collections::BTreeMap<K, Payload> = std::collections::BTreeMap::new();
+        let mut buf_newest: std::collections::BTreeMap<K, Payload> =
+            std::collections::BTreeMap::new();
         for e in &self.buffer {
             if e.0 >= spec.start {
                 buf_newest.insert(e.0, e.1);
@@ -532,7 +532,11 @@ mod tests {
             x ^= x << 17;
             let key = (x % 5_000) + 1;
             match x % 3 {
-                0 => assert_eq!(pgm.insert(key, i), model.insert(key, i).is_none(), "insert {key}"),
+                0 => assert_eq!(
+                    pgm.insert(key, i),
+                    model.insert(key, i).is_none(),
+                    "insert {key}"
+                ),
                 1 => assert_eq!(pgm.remove(key), model.remove(&key), "remove {key}"),
                 _ => assert_eq!(pgm.get(key), model.get(&key).copied(), "get {key}"),
             }

@@ -77,7 +77,8 @@ impl<K: Key> Group<K> {
         let pos = lo + local;
         // Fall back to a full binary search if the error bound was exceeded
         // (happens after inserts skew the distribution, until compaction).
-        if (pos == hi && hi < n && self.keys[hi] < key) || (pos == lo && lo > 0 && self.keys[lo - 1] >= key)
+        if (pos == hi && hi < n && self.keys[hi] < key)
+            || (pos == lo && lo > 0 && self.keys[lo - 1] >= key)
         {
             self.keys.partition_point(|k| *k < key)
         } else {
@@ -435,10 +436,10 @@ mod tests {
         let mut x = XIndex::new();
         ConcurrentIndex::bulk_load(&mut x, &entries(10_000));
         let x = Arc::new(x);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let x = Arc::clone(&x);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..2_000u64 {
                         let key = 1_000_000 + t * 1_000_000 + i;
                         x.insert(key, i);
@@ -447,8 +448,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(x.len(), 10_000 + 4 * 2_000);
         assert_eq!(x.meta().name, "XIndex");
     }

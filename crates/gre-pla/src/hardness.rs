@@ -10,10 +10,9 @@
 use crate::model::LinearModel;
 use crate::pla::segment_count;
 use gre_core::Key;
-use serde::{Deserialize, Serialize};
 
 /// Epsilon values defining the hardness plane.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HardnessConfig {
     /// Small ε for local non-linearity (paper default 32).
     pub local_eps: u64,
@@ -31,7 +30,7 @@ impl Default for HardnessConfig {
 }
 
 /// The hardness coordinates of a dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataHardness {
     /// `H_PLA(ε = local_eps)` — local non-linearity.
     pub local: usize,
@@ -69,7 +68,11 @@ impl DataHardness {
     /// the harness does for large datasets (hardness is a density-shape
     /// property, so sub-sampling preserves the ordering between datasets
     /// while scaling the absolute segment counts down proportionally).
-    pub fn compute_sampled<K: Key>(sorted_keys: &[K], config: HardnessConfig, sample: usize) -> Self {
+    pub fn compute_sampled<K: Key>(
+        sorted_keys: &[K],
+        config: HardnessConfig,
+        sample: usize,
+    ) -> Self {
         if sorted_keys.len() <= sample || sample == 0 {
             return Self::compute(sorted_keys, config);
         }
@@ -154,8 +157,20 @@ mod tests {
     #[test]
     fn custom_epsilons_are_respected() {
         let keys = locally_bumpy_keys(20_000);
-        let tight = DataHardness::compute(&keys, HardnessConfig { local_eps: 4, global_eps: 64 });
-        let loose = DataHardness::compute(&keys, HardnessConfig { local_eps: 64, global_eps: 8192 });
+        let tight = DataHardness::compute(
+            &keys,
+            HardnessConfig {
+                local_eps: 4,
+                global_eps: 64,
+            },
+        );
+        let loose = DataHardness::compute(
+            &keys,
+            HardnessConfig {
+                local_eps: 64,
+                global_eps: 8192,
+            },
+        );
         assert!(tight.local >= loose.local);
         assert!(tight.global >= loose.global);
         assert_eq!(tight.config.local_eps, 4);

@@ -20,4 +20,4 @@ pub mod synth;
 pub use hardness::{DataHardness, HardnessConfig};
 pub use model::LinearModel;
 pub use pla::{optimal_pla, PlaSegment};
-pub use synth::{SyntheticSpec, SynthCorner};
+pub use synth::{SynthCorner, SyntheticSpec};

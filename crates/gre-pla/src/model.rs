@@ -6,10 +6,9 @@
 //! FINEdex when (re)training node models.
 
 use gre_core::Key;
-use serde::{Deserialize, Serialize};
 
 /// A linear model `y = slope * x + intercept` over model-space inputs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearModel {
     pub slope: f64,
     pub intercept: f64,
@@ -54,7 +53,11 @@ impl LinearModel {
     /// position of `keys[i]` is `i`. Returns a flat model for empty input and
     /// an exact two-point model for single-key input.
     pub fn fit_keys<K: Key>(keys: &[K]) -> Self {
-        Self::fit_points(keys.iter().enumerate().map(|(i, k)| (k.to_model_input(), i as f64)))
+        Self::fit_points(
+            keys.iter()
+                .enumerate()
+                .map(|(i, k)| (k.to_model_input(), i as f64)),
+        )
     }
 
     /// Fit by ordinary least squares over arbitrary `(x, y)` pairs.

@@ -17,10 +17,9 @@
 
 use crate::model::LinearModel;
 use gre_core::Key;
-use serde::{Deserialize, Serialize};
 
 /// One segment of a piecewise linear approximation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlaSegment {
     /// Index (rank) of the first key covered by this segment.
     pub start_rank: usize,
@@ -267,7 +266,13 @@ mod tests {
     #[test]
     fn locate_segment_finds_covering_segment() {
         let keys: Vec<u64> = (0..1000u64)
-            .map(|i| if i < 500 { i } else { 1_000_000 + (i - 500) * 1000 })
+            .map(|i| {
+                if i < 500 {
+                    i
+                } else {
+                    1_000_000 + (i - 500) * 1000
+                }
+            })
             .collect();
         let segs = optimal_pla(&keys, 4);
         assert!(segs.len() >= 2);

@@ -13,10 +13,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Specification of a synthetic dataset in the hardness plane.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyntheticSpec {
     /// Total number of keys to generate.
     pub num_keys: usize,
@@ -48,7 +47,7 @@ impl Default for SyntheticSpec {
 }
 
 /// The "hard corner" presets of Figure 15.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SynthCorner {
     /// Globally hard, locally easy: many global segments, smooth inside each.
     GlobalHardLocalEasy,
@@ -231,10 +230,20 @@ mod tests {
         let both = measure(&generate_corner(SynthCorner::GlobalHardLocalHard, n, 1));
 
         // Global-hard corners must have more global segments than the easy one.
-        assert!(ghard.global > easy.global, "{} vs {}", ghard.global, easy.global);
+        assert!(
+            ghard.global > easy.global,
+            "{} vs {}",
+            ghard.global,
+            easy.global
+        );
         assert!(both.global > easy.global);
         // Local-hard corners must have more local segments than the easy one.
-        assert!(lhard.local > easy.local, "{} vs {}", lhard.local, easy.local);
+        assert!(
+            lhard.local > easy.local,
+            "{} vs {}",
+            lhard.local,
+            easy.local
+        );
         assert!(both.local > easy.local);
         // The locally-hard corner should be harder locally than the
         // globally-hard-locally-easy corner.

@@ -94,13 +94,27 @@ impl<K: Key> Node<K> {
     fn find_child(&self, byte: u8) -> Option<&Node<K>> {
         match self {
             Node::Leaf { .. } => None,
-            Node::Node4 { keys, children, count, .. } => (0..*count as usize)
+            Node::Node4 {
+                keys,
+                children,
+                count,
+                ..
+            } => (0..*count as usize)
                 .find(|&i| keys[i] == byte)
                 .and_then(|i| children[i].as_deref()),
-            Node::Node16 { keys, children, count, .. } => (0..*count as usize)
+            Node::Node16 {
+                keys,
+                children,
+                count,
+                ..
+            } => (0..*count as usize)
                 .find(|&i| keys[i] == byte)
                 .and_then(|i| children[i].as_deref()),
-            Node::Node48 { child_index, children, .. } => {
+            Node::Node48 {
+                child_index,
+                children,
+                ..
+            } => {
                 let idx = child_index[byte as usize];
                 if idx == EMPTY48 {
                     None
@@ -115,19 +129,33 @@ impl<K: Key> Node<K> {
     fn find_child_mut(&mut self, byte: u8) -> Option<&mut Box<Node<K>>> {
         match self {
             Node::Leaf { .. } => None,
-            Node::Node4 { keys, children, count, .. } => {
+            Node::Node4 {
+                keys,
+                children,
+                count,
+                ..
+            } => {
                 let c = *count as usize;
                 (0..c)
                     .find(|&i| keys[i] == byte)
                     .and_then(move |i| children[i].as_mut())
             }
-            Node::Node16 { keys, children, count, .. } => {
+            Node::Node16 {
+                keys,
+                children,
+                count,
+                ..
+            } => {
                 let c = *count as usize;
                 (0..c)
                     .find(|&i| keys[i] == byte)
                     .and_then(move |i| children[i].as_mut())
             }
-            Node::Node48 { child_index, children, .. } => {
+            Node::Node48 {
+                child_index,
+                children,
+                ..
+            } => {
                 let idx = child_index[byte as usize];
                 if idx == EMPTY48 {
                     None
@@ -143,7 +171,12 @@ impl<K: Key> Node<K> {
     fn add_child(&mut self, byte: u8, child: Box<Node<K>>) {
         match self {
             Node::Leaf { .. } => unreachable!("cannot add child to leaf"),
-            Node::Node4 { keys, children, count, .. } => {
+            Node::Node4 {
+                keys,
+                children,
+                count,
+                ..
+            } => {
                 let c = *count as usize;
                 debug_assert!(c < 4);
                 // Keep keys sorted for ordered iteration.
@@ -156,7 +189,12 @@ impl<K: Key> Node<K> {
                 children[pos] = Some(child);
                 *count += 1;
             }
-            Node::Node16 { keys, children, count, .. } => {
+            Node::Node16 {
+                keys,
+                children,
+                count,
+                ..
+            } => {
                 let c = *count as usize;
                 debug_assert!(c < 16);
                 let pos = keys[..c].iter().position(|&k| k > byte).unwrap_or(c);
@@ -168,17 +206,27 @@ impl<K: Key> Node<K> {
                 children[pos] = Some(child);
                 *count += 1;
             }
-            Node::Node48 { child_index, children, count, .. } => {
+            Node::Node48 {
+                child_index,
+                children,
+                count,
+                ..
+            } => {
                 debug_assert!((*count as usize) < 48);
-                let slot = children.iter().position(Option::is_none).unwrap_or_else(|| {
-                    children.push(None);
-                    children.len() - 1
-                });
+                let slot = children
+                    .iter()
+                    .position(Option::is_none)
+                    .unwrap_or_else(|| {
+                        children.push(None);
+                        children.len() - 1
+                    });
                 children[slot] = Some(child);
                 child_index[byte as usize] = slot as u8;
                 *count += 1;
             }
-            Node::Node256 { children, count, .. } => {
+            Node::Node256 {
+                children, count, ..
+            } => {
                 if children[byte as usize].is_none() {
                     *count += 1;
                 }
@@ -191,7 +239,12 @@ impl<K: Key> Node<K> {
     fn remove_child(&mut self, byte: u8) -> Option<Box<Node<K>>> {
         match self {
             Node::Leaf { .. } => None,
-            Node::Node4 { keys, children, count, .. } => {
+            Node::Node4 {
+                keys,
+                children,
+                count,
+                ..
+            } => {
                 let c = *count as usize;
                 let pos = keys[..c].iter().position(|&k| k == byte)?;
                 let removed = children[pos].take();
@@ -202,7 +255,12 @@ impl<K: Key> Node<K> {
                 *count -= 1;
                 removed
             }
-            Node::Node16 { keys, children, count, .. } => {
+            Node::Node16 {
+                keys,
+                children,
+                count,
+                ..
+            } => {
                 let c = *count as usize;
                 let pos = keys[..c].iter().position(|&k| k == byte)?;
                 let removed = children[pos].take();
@@ -213,7 +271,12 @@ impl<K: Key> Node<K> {
                 *count -= 1;
                 removed
             }
-            Node::Node48 { child_index, children, count, .. } => {
+            Node::Node48 {
+                child_index,
+                children,
+                count,
+                ..
+            } => {
                 let idx = child_index[byte as usize];
                 if idx == EMPTY48 {
                     return None;
@@ -222,7 +285,9 @@ impl<K: Key> Node<K> {
                 *count -= 1;
                 children[idx as usize].take()
             }
-            Node::Node256 { children, count, .. } => {
+            Node::Node256 {
+                children, count, ..
+            } => {
                 let removed = children[byte as usize].take();
                 if removed.is_some() {
                     *count -= 1;
@@ -237,7 +302,12 @@ impl<K: Key> Node<K> {
         let prefix = self.prefix().to_vec();
         let old = std::mem::replace(self, Node::new_node4(Vec::new()));
         *self = match old {
-            Node::Node4 { keys, mut children, count, .. } => {
+            Node::Node4 {
+                keys,
+                mut children,
+                count,
+                ..
+            } => {
                 let mut n = Node::Node16 {
                     prefix,
                     keys: [0; 16],
@@ -249,7 +319,12 @@ impl<K: Key> Node<K> {
                 }
                 n
             }
-            Node::Node16 { keys, mut children, count, .. } => {
+            Node::Node16 {
+                keys,
+                mut children,
+                count,
+                ..
+            } => {
                 let mut n = Node::Node48 {
                     prefix,
                     child_index: [EMPTY48; 256],
@@ -261,14 +336,17 @@ impl<K: Key> Node<K> {
                 }
                 n
             }
-            Node::Node48 { child_index, mut children, .. } => {
+            Node::Node48 {
+                child_index,
+                mut children,
+                ..
+            } => {
                 let mut n = Node::Node256 {
                     prefix,
                     children: (0..256).map(|_| None).collect(),
                     count: 0,
                 };
-                for byte in 0..256usize {
-                    let idx = child_index[byte];
+                for (byte, &idx) in child_index.iter().enumerate() {
                     if idx != EMPTY48 {
                         n.add_child(byte as u8, children[idx as usize].take().expect("present"));
                     }
@@ -283,13 +361,27 @@ impl<K: Key> Node<K> {
     fn ordered_children(&self) -> Vec<(u8, &Node<K>)> {
         match self {
             Node::Leaf { .. } => Vec::new(),
-            Node::Node4 { keys, children, count, .. } => (0..*count as usize)
+            Node::Node4 {
+                keys,
+                children,
+                count,
+                ..
+            } => (0..*count as usize)
                 .map(|i| (keys[i], children[i].as_deref().expect("present")))
                 .collect(),
-            Node::Node16 { keys, children, count, .. } => (0..*count as usize)
+            Node::Node16 {
+                keys,
+                children,
+                count,
+                ..
+            } => (0..*count as usize)
                 .map(|i| (keys[i], children[i].as_deref().expect("present")))
                 .collect(),
-            Node::Node48 { child_index, children, .. } => (0..256usize)
+            Node::Node48 {
+                child_index,
+                children,
+                ..
+            } => (0..256usize)
                 .filter_map(|b| {
                     let idx = child_index[b];
                     if idx == EMPTY48 {
@@ -308,9 +400,12 @@ impl<K: Key> Node<K> {
     /// The only remaining child (used to collapse one-child Node4s on delete).
     fn take_single_child(&mut self) -> Option<(u8, Box<Node<K>>)> {
         match self {
-            Node::Node4 { keys, children, count, .. } if *count == 1 => {
-                Some((keys[0], children[0].take().expect("present")))
-            }
+            Node::Node4 {
+                keys,
+                children,
+                count,
+                ..
+            } if *count == 1 => Some((keys[0], children[0].take().expect("present"))),
             _ => None,
         }
     }
@@ -320,11 +415,15 @@ impl<K: Key> Node<K> {
         match self {
             Node::Leaf { .. } => base,
             Node::Node4 { prefix, .. } | Node::Node16 { prefix, .. } => base + prefix.capacity(),
-            Node::Node48 { prefix, children, .. } => {
+            Node::Node48 {
+                prefix, children, ..
+            } => {
                 base + prefix.capacity()
                     + children.capacity() * std::mem::size_of::<Option<Box<Node<K>>>>()
             }
-            Node::Node256 { prefix, children, .. } => {
+            Node::Node256 {
+                prefix, children, ..
+            } => {
                 base + prefix.capacity()
                     + children.capacity() * std::mem::size_of::<Option<Box<Node<K>>>>()
             }
@@ -385,7 +484,10 @@ impl<K: Key> Art<K> {
         let mut traversed = 1u64;
         loop {
             match node {
-                Node::Leaf { key: leaf_key, value } => {
+                Node::Leaf {
+                    key: leaf_key,
+                    value,
+                } => {
                     return if *leaf_key == key {
                         (Some(*value), traversed)
                     } else {
@@ -424,7 +526,10 @@ impl<K: Key> Art<K> {
     ) -> bool {
         stats.nodes_traversed += 1;
         match node.as_mut() {
-            Node::Leaf { key: leaf_key, value: leaf_value } => {
+            Node::Leaf {
+                key: leaf_key,
+                value: leaf_value,
+            } => {
                 if *leaf_key == key {
                     *leaf_value = value;
                     return false;
@@ -432,8 +537,7 @@ impl<K: Key> Art<K> {
                 // Split: replace this leaf with a Node4 holding both leaves
                 // under their first diverging byte.
                 let existing_bytes = Self::key_bytes(*leaf_key);
-                let common =
-                    Self::common_prefix_len(&existing_bytes[depth..], &bytes[depth..]);
+                let common = Self::common_prefix_len(&existing_bytes[depth..], &bytes[depth..]);
                 let split_depth = depth + common;
                 let prefix = bytes[depth..split_depth].to_vec();
                 let old_leaf = std::mem::replace(node.as_mut(), Node::new_node4(prefix));
@@ -457,10 +561,7 @@ impl<K: Key> Art<K> {
                     let mut old_boxed = Box::new(old);
                     old_boxed.set_prefix(remaining_prefix);
                     node.add_child(child_byte_existing, old_boxed);
-                    node.add_child(
-                        bytes[depth + common],
-                        Box::new(Node::Leaf { key, value }),
-                    );
+                    node.add_child(bytes[depth + common], Box::new(Node::Leaf { key, value }));
                     stats.nodes_created += 2;
                     stats.triggered_smo = true;
                     return true;
@@ -489,7 +590,10 @@ impl<K: Key> Art<K> {
         depth: usize,
     ) -> (Option<Payload>, bool) {
         match node.as_mut() {
-            Node::Leaf { key: leaf_key, value } => {
+            Node::Leaf {
+                key: leaf_key,
+                value,
+            } => {
                 if *leaf_key == key {
                     (Some(*value), true) // caller removes this node
                 } else {
@@ -507,7 +611,8 @@ impl<K: Key> Art<K> {
                 let Some(child) = node.find_child_mut(byte) else {
                     return (None, false);
                 };
-                let (removed, remove_child) = Self::remove_recursive(child, key, bytes, next_depth + 1);
+                let (removed, remove_child) =
+                    Self::remove_recursive(child, key, bytes, next_depth + 1);
                 if remove_child {
                     node.remove_child(byte);
                     // Collapse a Node4 with a single remaining child into that
@@ -626,8 +731,7 @@ impl<K: Key> Index<K> for Art<K> {
     }
 
     fn memory_usage(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.root.as_ref().map_or(0, |r| r.subtree_memory())
+        std::mem::size_of::<Self>() + self.root.as_ref().map_or(0, |r| r.subtree_memory())
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -661,7 +765,9 @@ mod tests {
     #[test]
     fn insert_get_remove_roundtrip() {
         let mut art = Art::new();
-        let keys: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let keys: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         for (i, &k) in keys.iter().enumerate() {
             assert!(art.insert(k, i as u64), "insert {k}");
         }
@@ -722,7 +828,11 @@ mod tests {
         assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
         // Compare against the model.
         let model: BTreeMap<u64, u64> = entries.iter().copied().collect();
-        let expected: Vec<(u64, u64)> = model.range(500..).take(100).map(|(k, v)| (*k, *v)).collect();
+        let expected: Vec<(u64, u64)> = model
+            .range(500..)
+            .take(100)
+            .map(|(k, v)| (*k, *v))
+            .collect();
         assert_eq!(out, expected);
     }
 

@@ -98,10 +98,8 @@ impl<K: Key> BPlusTree<K> {
 
     /// Create an empty tree with explicit node sizes.
     pub fn with_config(config: BPlusTreeConfig) -> Self {
-        let mut nodes = Vec::new();
-        nodes.push(Node::new_leaf());
         BPlusTree {
-            nodes,
+            nodes: vec![Node::new_leaf()],
             root: 0,
             len: 0,
             height: 1,

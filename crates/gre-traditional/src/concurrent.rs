@@ -249,17 +249,16 @@ mod tests {
         let mut idx: ArtOlc<u64> = art_olc();
         ConcurrentIndex::bulk_load(&mut idx, &entries(1_000));
         let idx = Arc::new(idx);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let idx = Arc::clone(&idx);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..2_000u64 {
                         idx.insert(1_000_000 + t * 1_000_000 + i, i);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(idx.len(), 1_000 + 4 * 2_000);
         for t in 0..4u64 {
             for i in (0..2_000u64).step_by(97) {
@@ -296,18 +295,17 @@ mod tests {
         let mut idx: WormholeConcurrent<u64> = wormhole_concurrent();
         ConcurrentIndex::bulk_load(&mut idx, &entries(1_000));
         let idx = Arc::new(idx);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let idx = Arc::clone(&idx);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..500u64 {
                         idx.insert(100_000 + t * 100_000 + i, i);
                         idx.get(i * 10);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(idx.len(), 1_000 + 4 * 500);
         assert_eq!(idx.meta().name, "Wormhole");
         assert!(!idx.meta().supports_delete);

@@ -150,10 +150,7 @@ impl<K: Key> Hot<K> {
                     };
                     let mut pair = vec![
                         (existing_nibble, Box::new(old)),
-                        (
-                            nibbles[depth + common],
-                            Box::new(Node::Leaf { key, value }),
-                        ),
+                        (nibbles[depth + common], Box::new(Node::Leaf { key, value })),
                     ];
                     pair.sort_by_key(|(n, _)| *n);
                     *children = pair;
@@ -164,7 +161,14 @@ impl<K: Key> Hot<K> {
                 let next_depth = depth + prefix.len();
                 let nib = nibbles[next_depth];
                 match children.binary_search_by_key(&nib, |(n, _)| *n) {
-                    Ok(i) => Self::insert_rec(&mut children[i].1, key, nibbles, value, next_depth + 1, stats),
+                    Ok(i) => Self::insert_rec(
+                        &mut children[i].1,
+                        key,
+                        nibbles,
+                        value,
+                        next_depth + 1,
+                        stats,
+                    ),
                     Err(i) => {
                         children.insert(i, (nib, Box::new(Node::Leaf { key, value })));
                         stats.nodes_created += 1;
@@ -217,13 +221,18 @@ impl<K: Key> Hot<K> {
                 let Ok(i) = children.binary_search_by_key(&nib, |(n, _)| *n) else {
                     return (None, false);
                 };
-                let (removed, drop_child) = Self::remove_rec(&mut children[i].1, key, nibbles, next_depth + 1);
+                let (removed, drop_child) =
+                    Self::remove_rec(&mut children[i].1, key, nibbles, next_depth + 1);
                 if drop_child {
                     children.remove(i);
                     if children.len() == 1 {
                         // Collapse: merge the compressed path with the single child.
                         let (nib, mut only) = children.pop().expect("one child");
-                        if let Node::Inner { prefix: child_prefix, .. } = only.as_mut() {
+                        if let Node::Inner {
+                            prefix: child_prefix,
+                            ..
+                        } = only.as_mut()
+                        {
                             let mut merged = prefix.clone();
                             merged.push(nib);
                             merged.append(child_prefix);

@@ -340,11 +340,7 @@ mod tests {
         let b = WorkloadBuilder::new(4);
         let w = b.delete_workload("t", &keys(2000), 0.5);
         assert_eq!(w.bulk.len(), 2000);
-        let removes = w
-            .ops
-            .iter()
-            .filter(|o| matches!(o, Op::Remove(_)))
-            .count();
+        let removes = w.ops.iter().filter(|o| matches!(o, Op::Remove(_))).count();
         assert_eq!(removes, 1000);
         assert!((w.write_fraction() - 0.5).abs() < 0.02);
         // Deleted keys are unique.

@@ -9,7 +9,6 @@
 
 use crate::spec::{Op, OpKind, Workload};
 use gre_core::{ConcurrentIndex, Index, RangeSpec};
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Fraction of operations whose latency is sampled: one in every N ops.
@@ -18,7 +17,7 @@ use std::time::Instant;
 pub const LATENCY_SAMPLE_RATE: usize = 101;
 
 /// Summary statistics over a set of sampled latencies (nanoseconds).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LatencySummary {
     pub samples: usize,
     pub mean_ns: f64,
@@ -68,7 +67,7 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 /// The result of executing one workload on one index.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunResult {
     /// Index name.
     pub index: String,
@@ -201,11 +200,11 @@ pub fn run_concurrent<I: ConcurrentIndex<u64> + ?Sized>(
 
     let shared: &I = index;
     let timer = Instant::now();
-    let outcomes: Vec<ThreadOutcome> = crossbeam::scope(|scope| {
+    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut hits = 0usize;
                     let mut scanned = 0usize;
                     let mut read_samples = Vec::new();
@@ -251,9 +250,11 @@ pub fn run_concurrent<I: ConcurrentIndex<u64> + ?Sized>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("worker thread panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
     let elapsed_ns = timer.elapsed().as_nanos() as u64;
 
     let mut hits = 0;

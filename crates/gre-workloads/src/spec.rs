@@ -1,10 +1,9 @@
 //! Workload and operation types.
 
 use gre_core::Payload;
-use serde::{Deserialize, Serialize};
 
 /// A single request issued against an index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// Point lookup of a key.
     Get(u64),
@@ -37,7 +36,7 @@ impl Op {
 }
 
 /// Operation kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     Get,
     Insert,
@@ -47,7 +46,7 @@ pub enum OpKind {
 }
 
 /// The five write-ratio points of the paper's workload axis (§3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WriteRatio {
     /// Read-Only (0% writes): bulk load everything, lookups only.
     ReadOnly,
@@ -96,7 +95,7 @@ impl WriteRatio {
 
 /// A fully materialized workload: the entries to bulk load plus the request
 /// stream to execute (and time) afterwards.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Workload {
     /// Human-readable name, e.g. `"osm/balanced"`.
     pub name: String,

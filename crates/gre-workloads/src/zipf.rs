@@ -76,7 +76,10 @@ mod tests {
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let top_1pct: u32 = counts.iter().take(n / 100).sum();
         let share = top_1pct as f64 / samples as f64;
-        assert!(share > 0.2, "top 1% of keys got only {share:.3} of requests");
+        assert!(
+            share > 0.2,
+            "top 1% of keys got only {share:.3} of requests"
+        );
     }
 
     #[test]

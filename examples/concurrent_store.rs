@@ -15,7 +15,7 @@ fn main() {
 
     let threads = 4;
     let start = std::time::Instant::now();
-    crossbeam_scope(&index, threads);
+    mixed_ops_scoped(&index, threads);
     let elapsed = start.elapsed();
     println!(
         "ALEX+: {} keys after {} threads × 100k mixed ops each in {:.2}s ({:.2} Mop/s)",
@@ -30,7 +30,7 @@ fn main() {
     ConcurrentIndex::bulk_load(&mut lipp_plus, &entries);
     let lipp = Arc::new(lipp_plus);
     let start = std::time::Instant::now();
-    crossbeam_scope(&lipp, threads);
+    mixed_ops_scoped(&lipp, threads);
     println!(
         "LIPP+: same workload in {:.2}s (per-node statistics updates: {})",
         start.elapsed().as_secs_f64(),
@@ -38,11 +38,11 @@ fn main() {
     );
 }
 
-fn crossbeam_scope<I: ConcurrentIndex<u64>>(index: &Arc<I>, threads: u64) {
-    crossbeam::scope(|s| {
+fn mixed_ops_scoped<I: ConcurrentIndex<u64>>(index: &Arc<I>, threads: u64) {
+    std::thread::scope(|s| {
         for t in 0..threads {
             let index = Arc::clone(index);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in 0..100_000u64 {
                     let key = 10_000_000 + t * 10_000_000 + i;
                     if i % 2 == 0 {
@@ -53,6 +53,5 @@ fn crossbeam_scope<I: ConcurrentIndex<u64>>(index: &Arc<I>, threads: u64) {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 }

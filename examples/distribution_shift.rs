@@ -9,7 +9,6 @@ use gre::datasets::Dataset;
 use gre::learned::{Alex, Lipp};
 use gre::traditional::Art;
 use gre::workloads::{run_single, WorkloadBuilder, WriteRatio};
-use gre_core::Index;
 
 fn main() {
     let n = 200_000;
@@ -35,7 +34,8 @@ fn main() {
                 run_single(&mut Art::<u64>::new(), &shifted),
             ),
         };
-        let change = (shift.throughput_mops() - base.throughput_mops()) / base.throughput_mops() * 100.0;
+        let change =
+            (shift.throughput_mops() - base.throughput_mops()) / base.throughput_mops() * 100.0;
         println!(
             "{:<6} baseline {:.2} Mop/s, covid->osm {:.2} Mop/s ({:+.1}%)",
             name,

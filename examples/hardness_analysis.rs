@@ -10,10 +10,19 @@ use gre::pla::{synth, DataHardness, HardnessConfig, SynthCorner};
 
 fn main() {
     let n = 200_000;
-    println!("{:<20} {:>12} {:>12} {:>14}", "dataset", "H(eps=32)", "H(eps=4096)", "1-line MSE");
+    println!(
+        "{:<20} {:>12} {:>12} {:>14}",
+        "dataset", "H(eps=32)", "H(eps=4096)", "1-line MSE"
+    );
     for ds in Dataset::ALL_REAL {
         let h = ds.hardness(n, 42, HardnessConfig::default());
-        println!("{:<20} {:>12} {:>12} {:>14.3e}", ds.name(), h.local, h.global, h.single_line_mse);
+        println!(
+            "{:<20} {:>12} {:>12} {:>14.3e}",
+            ds.name(),
+            h.local,
+            h.global,
+            h.single_line_mse
+        );
     }
     println!("\nSynthetic corner datasets (Figure 15):");
     for corner in SynthCorner::ALL {

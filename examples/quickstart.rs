@@ -14,7 +14,11 @@ fn main() {
     let mut alex = Alex::<u64>::new();
     alex.bulk_load(&entries);
     assert_eq!(alex.get(301), Some(100));
-    println!("ALEX holds {} keys in {:.1} MB", alex.len(), alex.memory_usage() as f64 / 1e6);
+    println!(
+        "ALEX holds {} keys in {:.1} MB",
+        alex.len(),
+        alex.memory_usage() as f64 / 1e6
+    );
 
     // Insert new keys: ALEX finds gaps or shifts, LIPP chains nodes.
     let mut lipp = Lipp::<u64>::new();
@@ -32,10 +36,17 @@ fn main() {
     // Range scan: 10 keys starting at 1_000.
     let mut out = Vec::new();
     alex.range(RangeSpec::new(1_000, 10), &mut out);
-    println!("scan from 1000: {:?}", out.iter().map(|e| e.0).collect::<Vec<_>>());
+    println!(
+        "scan from 1000: {:?}",
+        out.iter().map(|e| e.0).collect::<Vec<_>>()
+    );
 
     // A traditional baseline for comparison.
     let mut art = Art::<u64>::new();
     art.bulk_load(&entries);
-    println!("ART holds {} keys in {:.1} MB", art.len(), art.memory_usage() as f64 / 1e6);
+    println!(
+        "ART holds {} keys in {:.1} MB",
+        art.len(),
+        art.memory_usage() as f64 / 1e6
+    );
 }

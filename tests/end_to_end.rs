@@ -82,9 +82,18 @@ fn memory_ordering_matches_figure_8() {
     let hot = mem(Box::new(Hot::<u64>::new()));
     let art = mem(Box::new(Art::<u64>::new()));
     let btree = mem(Box::new(BPlusTree::<u64>::new()));
-    assert!(pgm < alex, "PGM ({pgm}) should be smaller than ALEX ({alex})");
-    assert!(alex < lipp, "ALEX ({alex}) should be smaller than LIPP ({lipp})");
-    assert!(hot < lipp, "HOT ({hot}) should be smaller than LIPP ({lipp})");
+    assert!(
+        pgm < alex,
+        "PGM ({pgm}) should be smaller than ALEX ({alex})"
+    );
+    assert!(
+        alex < lipp,
+        "ALEX ({alex}) should be smaller than LIPP ({lipp})"
+    );
+    assert!(
+        hot < lipp,
+        "HOT ({hot}) should be smaller than LIPP ({lipp})"
+    );
     assert!(btree > 0 && art > 0);
 }
 
@@ -100,7 +109,10 @@ fn lipp_has_lower_write_amplification_than_alex() {
     run_single(&mut lipp, &workload);
     let alex_shifts = alex.stats().avg_keys_shifted_per_insert();
     let lipp_nodes = lipp.stats().avg_nodes_created_per_insert();
-    assert!(lipp_nodes <= 1.0, "LIPP creates at most one node per insert");
+    assert!(
+        lipp_nodes <= 1.0,
+        "LIPP creates at most one node per insert"
+    );
     assert!(
         alex_shifts > lipp_nodes,
         "ALEX write amplification ({alex_shifts:.2} shifts) should exceed LIPP's ({lipp_nodes:.2} nodes)"
@@ -132,9 +144,9 @@ fn concurrent_learned_indexes_survive_mixed_churn() {
         ("B+treeOLC", &btree),
     ];
     for (name, index) in indexes {
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..2_000u64 {
                         // Keys are spaced above the f64 ulp at this magnitude:
                         // like the original implementations, the learned
@@ -149,8 +161,7 @@ fn concurrent_learned_indexes_survive_mixed_churn() {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let expected = entries.len() + 4 * (2_000 - 2_000_usize.div_ceil(3));
         assert_eq!(index.len(), expected, "{name} lost updates");
     }

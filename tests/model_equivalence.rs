@@ -1,12 +1,20 @@
-//! Property-based tests: every index must behave exactly like a `BTreeMap`
+//! Randomized model tests: every index must behave exactly like a `BTreeMap`
 //! under arbitrary operation sequences (the core correctness invariant of the
 //! whole suite).
+//!
+//! These were originally proptest strategies; the vendored offline toolchain
+//! has no proptest, so the same property is exercised with seeded random
+//! operation sequences (deterministic, so failures reproduce by seed).
 
 use gre::learned::{Alex, DynamicPgm, Lipp};
 use gre::traditional::{Art, BPlusTree, Hot, Wormhole};
 use gre_core::{Index, RangeSpec};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+
+const CASES: u64 = 32;
+const KEY_SPACE: u64 = 2_000;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,56 +24,86 @@ enum Op {
     Range(u64, usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..2_000, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        (0u64..2_000).prop_map(Op::Remove),
-        (0u64..2_000).prop_map(Op::Get),
-        ((0u64..2_000), (0usize..64)).prop_map(|(k, c)| Op::Range(k, c)),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0..4u32) {
+        0 => Op::Insert(rng.gen_range(0..KEY_SPACE), rng.gen()),
+        1 => Op::Remove(rng.gen_range(0..KEY_SPACE)),
+        2 => Op::Get(rng.gen_range(0..KEY_SPACE)),
+        _ => Op::Range(rng.gen_range(0..KEY_SPACE), rng.gen_range(0..64)),
+    }
 }
 
-fn check_against_model<I: Index<u64>>(mut index: I, ops: &[Op], bulk: &[(u64, u64)]) {
+fn random_bulk(rng: &mut StdRng) -> Vec<(u64, u64)> {
+    let len = rng.gen_range(0..400usize);
+    let map: BTreeMap<u64, u64> = (0..len)
+        .map(|_| (rng.gen_range(0..KEY_SPACE), rng.gen()))
+        .collect();
+    map.into_iter().collect()
+}
+
+fn check_against_model<I: Index<u64>>(mut index: I, ops: &[Op], bulk: &[(u64, u64)], case: u64) {
     let mut model: BTreeMap<u64, u64> = bulk.iter().copied().collect();
     index.bulk_load(bulk);
     for op in ops {
         match *op {
             Op::Insert(k, v) => {
-                assert_eq!(index.insert(k, v), model.insert(k, v).is_none(), "insert {k}");
+                assert_eq!(
+                    index.insert(k, v),
+                    model.insert(k, v).is_none(),
+                    "insert {k} (case {case})"
+                );
             }
             Op::Remove(k) => {
-                assert_eq!(index.remove(k), model.remove(&k), "remove {k}");
+                assert_eq!(
+                    index.remove(k),
+                    model.remove(&k),
+                    "remove {k} (case {case})"
+                );
             }
             Op::Get(k) => {
-                assert_eq!(index.get(k), model.get(&k).copied(), "get {k}");
+                assert_eq!(
+                    index.get(k),
+                    model.get(&k).copied(),
+                    "get {k} (case {case})"
+                );
             }
             Op::Range(k, c) => {
                 let mut out = Vec::new();
                 index.range(RangeSpec::new(k, c), &mut out);
                 let expected: Vec<(u64, u64)> =
                     model.range(k..).take(c).map(|(a, b)| (*a, *b)).collect();
-                assert_eq!(out, expected, "range from {k} count {c}");
+                assert_eq!(out, expected, "range from {k} count {c} (case {case})");
             }
         }
     }
-    assert_eq!(index.len(), model.len());
-}
-
-fn bulk_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
-    proptest::collection::btree_map(0u64..2_000, any::<u64>(), 0..400)
-        .prop_map(|m| m.into_iter().collect())
+    assert_eq!(index.len(), model.len(), "final length (case {case})");
 }
 
 macro_rules! model_test {
     ($name:ident, $ctor:expr) => {
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(32))]
-            #[test]
-            fn $name(bulk in bulk_strategy(), ops in proptest::collection::vec(op_strategy(), 1..300)) {
-                check_against_model($ctor, &ops, &bulk);
+        #[test]
+        fn $name() {
+            for case in 0..CASES {
+                // Per-case seed derived from the test name so the suites stay
+                // independent yet fully reproducible.
+                let seed = fnv64(stringify!($name)) ^ case;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let bulk = random_bulk(&mut rng);
+                let op_count = rng.gen_range(1..300usize);
+                let ops: Vec<Op> = (0..op_count).map(|_| random_op(&mut rng)).collect();
+                check_against_model($ctor, &ops, &bulk, case);
             }
         }
     };
+}
+
+fn fnv64(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 model_test!(alex_matches_btreemap, Alex::<u64>::new());

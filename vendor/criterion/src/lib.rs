@@ -1,0 +1,317 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! Implements enough of the API — [`Criterion`], benchmark groups,
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BenchmarkId`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — for the `microbench`
+//! target to compile and produce wall-clock timings. There is no statistical
+//! analysis, HTML reporting, or outlier rejection: each benchmark is warmed
+//! up and then timed for the configured measurement window, and the mean
+//! iteration time is printed.
+//!
+//! Under `cargo test` (or when invoked with `--test`) each benchmark body is
+//! executed exactly once so test runs stay fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; the stub times every batch identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Upper bound on timed iterations, mirroring criterion's sample budget.
+    max_iters: u64,
+    /// `--test` mode: run each body once, skip timing.
+    test_mode: bool,
+}
+
+/// Benchmark driver and configuration builder.
+#[derive(Debug, Clone, Copy)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            config: Config {
+                warm_up: Duration::from_millis(300),
+                measurement: Duration::from_millis(800),
+                max_iters: 1_000_000,
+                test_mode,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement = d;
+        self
+    }
+
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.max_iters = (n as u64).max(1) * 1_000;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.config;
+        run_benchmark("", &id.into().id, config, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.max_iters = (n as u64).max(1) * 1_000;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.name, &id.into().id, self.config, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&self.name, &id.into().id, self.config, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(group: &str, id: &str, config: Config, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        config,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if config.test_mode {
+        println!("{label}: ok (test mode)");
+    } else if bencher.iters > 0 {
+        let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        println!("{label}: {per_iter:.1} ns/iter ({} iters)", bencher.iters);
+    } else {
+        println!("{label}: no iterations recorded");
+    }
+}
+
+/// Timing handle passed to each benchmark body.
+pub struct Bencher {
+    config: Config,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement window closes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.test_mode {
+            black_box(routine());
+            self.iters += 1;
+            return;
+        }
+        let warm_end = Instant::now() + self.config.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.config.max_iters && start.elapsed() < self.config.measurement {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters += iters;
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.config.test_mode {
+            black_box(routine(setup()));
+            self.iters += 1;
+            return;
+        }
+        let warm_end = Instant::now() + self.config.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut timed = Duration::ZERO;
+        while iters < self.config.max_iters && timed < self.config.measurement {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+        }
+        self.iters += iters;
+        self.elapsed += timed;
+    }
+}
+
+/// Expands to a function running the listed benchmark targets with a shared
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Expands to `fn main` invoking each [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.config.max_iters = 100;
+        c
+    }
+
+    #[test]
+    fn iter_records_iterations() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = quick();
+        let mut total = 0u64;
+        c.bench_function(BenchmarkId::new("batched", 1), |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| {
+                    total += 1;
+                    v.into_iter().sum::<u64>()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("lookup", "covid");
+        assert_eq!(id.id, "lookup/covid");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.id, "plain");
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal, API-compatible implementation: a deterministic xoshiro256**
+//! generator behind [`rngs::StdRng`], the [`Rng`]/[`SeedableRng`] trait
+//! surface (`gen`, `gen_range`, `gen_bool`), and Fisher–Yates shuffling via
+//! [`seq::SliceRandom`]. It is statistically sound for benchmarking and
+//! dataset synthesis but is **not** cryptographically secure.
+
+pub mod rngs;
+pub mod seq;
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform random source. Mirrors `rand_core::RngCore` closely
+/// enough for the call sites in this workspace.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators. Only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from its standard distribution (uniform over the
+    /// full domain for integers, `[0, 1)` for floats, fair coin for `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a half-open or inclusive range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)`.
+#[inline]
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types sampleable from their "standard" distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with a uniform sampler over an arbitrary sub-range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)` (`inclusive = false`) or
+    /// `[low, high]` (`inclusive = true`). Callers guarantee `low < high`
+    /// (or `low <= high` for inclusive ranges).
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as u64).wrapping_sub(low as u64);
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                if span == 0 {
+                    // Inclusive range covering the full 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                // Widening-multiply range reduction; the bias is far below
+                // anything observable at benchmark sample counts.
+                let reduced = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low.wrapping_add(reduced as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                low + (unit_f64(rng.next_u64()) as $t) * (high - low)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "gen_range called with empty range");
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(5..17);
+            assert!((5..17).contains(&v));
+            let v: usize = rng.gen_range(0..3);
+            assert!(v < 3);
+            let v: u64 = rng.gen_range(1..=8);
+            assert!((1..=8).contains(&v));
+            let f: f64 = rng.gen_range(2.0..6.0);
+            assert!((2.0..6.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_domain() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_floats_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "got {frac}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for the subset of `rand_distr` 0.4 this workspace uses:
+//! [`Normal`], [`LogNormal`] (Box–Muller) and [`Zipf`] (the YCSB zeta-series
+//! generator). See `vendor/README.md` for why these are vendored.
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Types that can be sampled given a random source.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[inline]
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Uniform in (0, 1]: avoids ln(0) in Box-Muller.
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Normal (Gaussian) distribution, sampled with the Box–Muller transform.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, ParamError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError("normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1 = unit_open(rng);
+        let u2 = unit_open(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, ParamError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`, using the
+/// closed-form approximation of the YCSB `ZipfianGenerator` (Gray et al.,
+/// "Quickly Generating Billion-Record Synthetic Databases"). Rank 1 is the
+/// most popular. Samples are returned as `F` (only `f64` is provided).
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf<F> {
+    n: F,
+    theta: F,
+    alpha: F,
+    zetan: F,
+    eta: F,
+}
+
+impl Zipf<f64> {
+    pub fn new(n: u64, s: f64) -> Result<Zipf<f64>, ParamError> {
+        if n == 0 {
+            return Err(ParamError("zipf requires n >= 1"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ParamError("zipf requires a finite exponent >= 0"));
+        }
+        // The zeta-series formulas below divide by (1 - theta); nudge the
+        // exponent off the harmonic singularity.
+        let theta = if (s - 1.0).abs() < 1e-9 { s + 1e-6 } else { s };
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Ok(Zipf {
+            n: n as f64,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        })
+    }
+}
+
+/// Truncated zeta series `sum_{i=1..n} 1 / i^theta`.
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Cap the exact summation; past a million terms the tail is approximated
+    // by the integral of x^-theta, which is accurate to ~1e-6 for the
+    // exponents used in benchmarks.
+    const EXACT: u64 = 1_000_000;
+    let exact_n = n.min(EXACT);
+    let mut sum = 0.0;
+    for i in 1..=exact_n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    if n > EXACT {
+        let a = EXACT as f64;
+        let b = n as f64;
+        sum += (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+    }
+    sum
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // n == 1 leaves eta = -inf (zeta2 == zetan), and a draw of exactly
+        // u == 1.0 would then produce a NaN rank; there is only one rank.
+        if self.n <= 1.0 {
+            return 1.0;
+        }
+        let u = unit_open(rng);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 1.0;
+        }
+        if self.n >= 2.0 && uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 2.0;
+        }
+        let rank = 1.0 + self.n * (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        rank.clamp(1.0, self.n).floor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(1.0, 1.0).unwrap();
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "log-normal mean should exceed its median");
+    }
+
+    #[test]
+    fn zipf_ranks_in_bounds_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Zipf::new(1_000, 0.99).unwrap();
+        let mut counts = vec![0u32; 1_001];
+        for _ in 0..100_000 {
+            let r = d.sample(&mut rng);
+            assert!((1.0..=1_000.0).contains(&r));
+            counts[r as usize] += 1;
+        }
+        // Rank 1 must dominate any mid-table rank by a wide margin.
+        assert!(counts[1] > 20 * counts[500].max(1));
+        assert!(Zipf::new(0, 0.99).is_err());
+    }
+
+    #[test]
+    fn zipf_handles_degenerate_and_near_harmonic_exponents() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let one = Zipf::new(1, 0.5).unwrap();
+        for _ in 0..100 {
+            assert_eq!(one.sample(&mut rng), 1.0);
+        }
+        let harmonic = Zipf::new(100, 1.0).unwrap();
+        for _ in 0..1_000 {
+            let r = harmonic.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&r));
+        }
+    }
+}
