@@ -1,0 +1,130 @@
+//! Shard scalability of the `gre-shard` serving layer: throughput of
+//! `sharded(backend, S)` while sweeping shard count × thread count ×
+//! backend on the paper's balanced workload.
+//!
+//! Two execution paths per configuration:
+//!
+//! * `direct`  — client threads call the composite `ConcurrentIndex`
+//!   directly (`run_concurrent`), one routing decision per op.
+//! * `batched` — the same request stream split into `OpBatch`es and fed
+//!   through the `ShardPipeline` worker pool, amortizing routing and
+//!   hand-off over `BATCH` ops with per-shard FIFO execution.
+//!
+//! `--shards N` caps the shard-count axis, `--threads T` the thread axis.
+
+use gre_bench::{registry, RunOpts};
+use gre_datasets::Dataset;
+use gre_shard::{OpBatch, Partitioner, ShardPipeline};
+use gre_workloads::{run_concurrent, Workload, WorkloadBuilder, WriteRatio};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Ops per submitted batch on the batched path.
+const BATCH: usize = 1024;
+
+fn main() {
+    let opts = RunOpts::from_env();
+    let backends: Vec<&str> = if opts.quick {
+        vec!["ALEX+", "B+treeOLC"]
+    } else {
+        vec!["ALEX+", "LIPP+", "XIndex", "B+treeOLC", "ART-OLC"]
+    };
+    let shard_counts: Vec<usize> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .filter(|s| *s <= opts.shards)
+        .collect();
+    let mut thread_points: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|t| *t <= opts.threads)
+        .collect();
+    if thread_points.is_empty() {
+        thread_points.push(1);
+    }
+    let datasets: &[Dataset] = if opts.quick {
+        &[Dataset::Covid]
+    } else {
+        &[Dataset::Covid, Dataset::Osm]
+    };
+
+    let builder = WorkloadBuilder::new(opts.seed);
+    println!(
+        "# Shard scalability (Mop/s), balanced workload; thread axis: {thread_points:?}; \
+         batched path uses {BATCH}-op batches"
+    );
+    println!(
+        "{:<10} {:<22} {:>6} {:<8}{}",
+        "dataset",
+        "index",
+        "shards",
+        "path",
+        thread_points
+            .iter()
+            .map(|t| format!(" {t:>7}T"))
+            .collect::<String>()
+    );
+    for ds in datasets {
+        let keys = ds.generate(opts.keys, opts.seed);
+        let workload = builder.insert_workload(&ds.name(), &keys, WriteRatio::Balanced);
+        for backend in &backends {
+            for &shards in &shard_counts {
+                let name = registry::sharded_name(backend, &Partitioner::range(shards));
+                let mut direct = format!(
+                    "{:<10} {:<22} {:>6} {:<8}",
+                    ds.name(),
+                    name,
+                    shards,
+                    "direct"
+                );
+                let mut batched = format!(
+                    "{:<10} {:<22} {:>6} {:<8}",
+                    ds.name(),
+                    name,
+                    shards,
+                    "batched"
+                );
+                for &threads in &thread_points {
+                    // Always the composite — even at 1 shard — so every row
+                    // of the sweep measures the same structure and the
+                    // shards=1 baseline includes the routing dispatch too.
+                    let mut index = registry::sharded_index(backend, Partitioner::range(shards))
+                        .expect("registry backend resolves");
+                    let r = run_concurrent(&mut index, &workload, threads);
+                    direct.push_str(&format!(" {:>8.3}", r.throughput_mops()));
+                    batched.push_str(&format!(
+                        " {:>8.3}",
+                        run_batched(backend, shards, &workload, threads)
+                    ));
+                }
+                println!("{direct}");
+                println!("{batched}");
+            }
+        }
+    }
+}
+
+/// Throughput of the batched pipeline path: bulk load a fresh sharded
+/// composite, then time the full op stream submitted as `BATCH`-op batches
+/// to a `workers`-thread pipeline.
+fn run_batched(backend: &str, shards: usize, workload: &Workload, workers: usize) -> f64 {
+    // A 1-shard pipeline still exercises the batch path (single queue).
+    let mut index = registry::sharded_index(backend, Partitioner::range(shards))
+        .expect("registry backend resolves");
+    gre_core::ConcurrentIndex::bulk_load(&mut index, &workload.bulk);
+    let pipeline = ShardPipeline::new(Arc::new(index), workers);
+    let timer = Instant::now();
+    let tickets: Vec<_> = workload
+        .ops
+        .chunks(BATCH)
+        .map(|chunk| pipeline.submit(OpBatch::new(chunk.to_vec())))
+        .collect();
+    let mut executed = 0usize;
+    for ticket in tickets {
+        executed += ticket.wait().ops;
+    }
+    let elapsed = timer.elapsed().as_secs_f64();
+    assert_eq!(executed, workload.ops.len(), "pipeline dropped operations");
+    if elapsed == 0.0 {
+        return 0.0;
+    }
+    executed as f64 / elapsed / 1e6
+}

@@ -281,6 +281,7 @@ mod tests {
             keys: 3_000,
             threads: 2,
             seed: 1,
+            shards: 1,
             quick: true,
         };
         let hm = single_thread_heatmap("test", &[Dataset::Covid], &opts, HeatmapMode::Inserts);
@@ -302,6 +303,7 @@ mod tests {
             keys: 2_000,
             threads: 2,
             seed: 1,
+            shards: 1,
             quick: true,
         };
         let hm = concurrent_heatmap("test-mt", &[Dataset::Stack], &opts, true);

@@ -10,5 +10,8 @@ pub mod registry;
 pub mod runopts;
 
 pub use heatmap::{Heatmap, HeatmapCell};
-pub use registry::{concurrent_indexes, single_thread_indexes, IndexKind};
+pub use registry::{
+    backend, concurrent_backend, concurrent_indexes, sharded_concurrent_indexes, sharded_index,
+    single_thread_indexes, IndexKind,
+};
 pub use runopts::RunOpts;

@@ -1,14 +1,28 @@
 //! Index registries: every evaluated index behind a uniform constructor so
 //! the per-figure binaries can iterate over them.
+//!
+//! Two layers:
+//!
+//! * The **list registries** ([`single_thread_indexes`],
+//!   [`concurrent_indexes`], [`sharded_concurrent_indexes`]) return fresh
+//!   instances of whole index families for figure sweeps.
+//! * The **string-keyed factory** ([`concurrent_backend`], [`backend`],
+//!   [`sharded_index`]) resolves a backend by name — `backend("alex+", 8)`
+//!   yields ALEX+ behind an 8-shard range-partitioned serving layer — so
+//!   binaries and external callers can request any (backend × shards)
+//!   combination without naming concrete types.
 
 use gre_core::{ConcurrentIndex, Index};
 use gre_learned::{
     Alex, AlexConfig, AlexPlus, DynamicPgm, Finedex, Lipp, LippPlus, LockGranularity, XIndex,
 };
+use gre_shard::{Partitioner, ShardedIndex};
 use gre_traditional::{
     art_olc, btree_olc, hot_rowex, masstree_concurrent, wormhole_concurrent, Art, BPlusTree, Hot,
     Masstree, Wormhole,
 };
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Whether an index is learned or traditional (heatmap colouring).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,12 +38,29 @@ pub struct SingleEntry {
     pub index: Box<dyn Index<u64>>,
 }
 
-/// A named concurrent index instance.
+/// A named concurrent index instance. The name is owned because sharded
+/// variants carry computed names like `sharded(ALEX+,8)`.
 pub struct ConcurrentEntry {
-    pub name: &'static str,
+    pub name: String,
     pub kind: IndexKind,
     pub index: Box<dyn ConcurrentIndex<u64>>,
 }
+
+/// Canonical names of every concurrent backend, paired with its kind and in
+/// the paper's presentation order. ALEX+ and LIPP+ (the parallelized
+/// derivatives this study contributes) lead so Figure 16's "world without
+/// this study" can drop a prefix.
+pub const CONCURRENT_BACKENDS: [(&str, IndexKind); 9] = [
+    ("ALEX+", IndexKind::Learned),
+    ("LIPP+", IndexKind::Learned),
+    ("XIndex", IndexKind::Learned),
+    ("FINEdex", IndexKind::Learned),
+    ("ART-OLC", IndexKind::Traditional),
+    ("B+treeOLC", IndexKind::Traditional),
+    ("HOT-ROWEX", IndexKind::Traditional),
+    ("Masstree", IndexKind::Traditional),
+    ("Wormhole", IndexKind::Traditional),
+];
 
 /// Fresh instances of every single-threaded index of the study
 /// (the Table 1 learned indexes plus STX B+-tree, ART and HOT, §3.1).
@@ -78,62 +109,126 @@ pub fn single_thread_indexes() -> Vec<SingleEntry> {
     ]
 }
 
+/// Constructor of a boxed concurrent backend.
+type BackendCtor = fn() -> Box<dyn ConcurrentIndex<u64>>;
+
+/// Resolve a backend name to its canonical display name and constructor
+/// without building an instance (name validation and display formatting
+/// must stay allocation-free on hot factory paths).
+fn resolve_backend(name: &str) -> Option<(&'static str, BackendCtor)> {
+    let canon: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '+')
+        .collect::<String>()
+        .to_ascii_lowercase();
+    Some(match canon.as_str() {
+        "alex+" | "alexplus" => ("ALEX+", || {
+            Box::new(AlexPlus::<u64>::with_config(
+                AlexConfig::default(),
+                LockGranularity::PerNode,
+            ))
+        }),
+        "lipp+" | "lippplus" => ("LIPP+", || Box::new(LippPlus::<u64>::new())),
+        "xindex" => ("XIndex", || Box::new(XIndex::<u64>::new())),
+        "finedex" => ("FINEdex", || Box::new(Finedex::<u64>::new())),
+        "artolc" => ("ART-OLC", || Box::new(art_olc::<u64>())),
+        "b+treeolc" | "btreeolc" => ("B+treeOLC", || Box::new(btree_olc::<u64>())),
+        "hotrowex" => ("HOT-ROWEX", || Box::new(hot_rowex::<u64>())),
+        "masstree" => ("Masstree", || Box::new(masstree_concurrent::<u64>())),
+        "wormhole" => ("Wormhole", || Box::new(wormhole_concurrent::<u64>())),
+        _ => return None,
+    })
+}
+
+/// Resolve a concurrent backend by name (case-insensitive; `+`, `-` and
+/// spaces are cosmetic: `"alex+"`, `"ALEX+"` and `"alexplus"` all resolve
+/// to ALEX+). Returns `None` for unknown names.
+pub fn concurrent_backend(name: &str) -> Option<Box<dyn ConcurrentIndex<u64>>> {
+    resolve_backend(name).map(|(_, build)| build())
+}
+
+/// Build a [`ShardedIndex`] of `partitioner.shards()` instances of the named
+/// backend. The composite reports itself as `sharded(NAME,N)` (range
+/// partitioning) or `sharded(NAME,N,hash)`.
+pub fn sharded_index(
+    name: &str,
+    partitioner: Partitioner<u64>,
+) -> Option<ShardedIndex<u64, Box<dyn ConcurrentIndex<u64>>>> {
+    let (canonical, build) = resolve_backend(name)?;
+    let display = sharded_name(canonical, &partitioner);
+    Some(ShardedIndex::from_factory(partitioner, |_| build()).with_name(intern(display)))
+}
+
+/// The display name of a sharded composite, e.g. `sharded(ALEX+,8)`.
+pub fn sharded_name(backend: &str, partitioner: &Partitioner<u64>) -> String {
+    if partitioner.is_ordered() {
+        format!("sharded({backend},{})", partitioner.shards())
+    } else {
+        format!(
+            "sharded({backend},{},{})",
+            partitioner.shards(),
+            partitioner.scheme()
+        )
+    }
+}
+
+/// The string-keyed factory: the named backend behind `shards` range
+/// partitions (`shards <= 1` returns the bare backend). This is the single
+/// entry point every figure binary can use to run a `sharded(X)` variant of
+/// any evaluated index.
+pub fn backend(name: &str, shards: usize) -> Option<Box<dyn ConcurrentIndex<u64>>> {
+    if shards <= 1 {
+        concurrent_backend(name)
+    } else {
+        sharded_index(name, Partitioner::range(shards))
+            .map(|idx| Box::new(idx) as Box<dyn ConcurrentIndex<u64>>)
+    }
+}
+
+/// Intern a computed index name: `IndexMeta::name` is `&'static str` (every
+/// figure binary formats it by value), so computed sharded names are leaked
+/// once per distinct name and reused afterwards.
+fn intern(name: String) -> &'static str {
+    static INTERNED: Mutex<Option<HashMap<String, &'static str>>> = Mutex::new(None);
+    let mut guard = INTERNED.lock().expect("intern table poisoned");
+    let table = guard.get_or_insert_with(HashMap::new);
+    if let Some(&s) = table.get(&name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+    table.insert(name, leaked);
+    leaked
+}
+
 /// Fresh instances of every concurrent index (§4.2). Set `include_parallelized`
 /// to `false` to reproduce "the world without this study" (Figure 16), which
 /// drops ALEX+ and LIPP+ and keeps only the natively concurrent indexes.
 pub fn concurrent_indexes(include_parallelized: bool) -> Vec<ConcurrentEntry> {
-    let mut out: Vec<ConcurrentEntry> = Vec::new();
-    if include_parallelized {
-        out.push(ConcurrentEntry {
-            name: "ALEX+",
-            kind: IndexKind::Learned,
-            index: Box::new(AlexPlus::<u64>::with_config(
-                AlexConfig::default(),
-                LockGranularity::PerNode,
-            )),
-        });
-        out.push(ConcurrentEntry {
-            name: "LIPP+",
-            kind: IndexKind::Learned,
-            index: Box::new(LippPlus::<u64>::new()),
-        });
-    }
-    out.push(ConcurrentEntry {
-        name: "XIndex",
-        kind: IndexKind::Learned,
-        index: Box::new(XIndex::<u64>::new()),
-    });
-    out.push(ConcurrentEntry {
-        name: "FINEdex",
-        kind: IndexKind::Learned,
-        index: Box::new(Finedex::<u64>::new()),
-    });
-    out.push(ConcurrentEntry {
-        name: "ART-OLC",
-        kind: IndexKind::Traditional,
-        index: Box::new(art_olc::<u64>()),
-    });
-    out.push(ConcurrentEntry {
-        name: "B+treeOLC",
-        kind: IndexKind::Traditional,
-        index: Box::new(btree_olc::<u64>()),
-    });
-    out.push(ConcurrentEntry {
-        name: "HOT-ROWEX",
-        kind: IndexKind::Traditional,
-        index: Box::new(hot_rowex::<u64>()),
-    });
-    out.push(ConcurrentEntry {
-        name: "Masstree",
-        kind: IndexKind::Traditional,
-        index: Box::new(masstree_concurrent::<u64>()),
-    });
-    out.push(ConcurrentEntry {
-        name: "Wormhole",
-        kind: IndexKind::Traditional,
-        index: Box::new(wormhole_concurrent::<u64>()),
-    });
-    out
+    CONCURRENT_BACKENDS
+        .iter()
+        .skip(if include_parallelized { 0 } else { 2 })
+        .map(|&(name, kind)| ConcurrentEntry {
+            name: name.to_string(),
+            kind,
+            index: concurrent_backend(name).expect("registry name resolves"),
+        })
+        .collect()
+}
+
+/// `sharded(X, shards)` variants of every concurrent backend: the serving
+/// layer over the full §4.2 index set, for shard-scalability sweeps.
+pub fn sharded_concurrent_indexes(shards: usize) -> Vec<ConcurrentEntry> {
+    CONCURRENT_BACKENDS
+        .iter()
+        .map(|&(name, kind)| {
+            let index = backend(name, shards).expect("registry name resolves");
+            ConcurrentEntry {
+                name: index.meta().name.to_string(),
+                kind,
+                index,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -178,5 +273,47 @@ mod tests {
             e.index.insert(2, 22);
             assert_eq!(e.index.get(2), Some(22), "{}", e.name);
         }
+    }
+
+    #[test]
+    fn factory_resolves_names_case_and_punctuation_insensitively() {
+        for spec in ["alex+", "ALEX+", "AlexPlus", "alex plus"] {
+            let b = concurrent_backend(spec).unwrap_or_else(|| panic!("{spec} must resolve"));
+            assert_eq!(b.meta().name, "ALEX+");
+        }
+        assert_eq!(
+            concurrent_backend("b+tree-olc").unwrap().meta().name,
+            "B+treeOLC"
+        );
+        assert_eq!(
+            concurrent_backend("hot-rowex").unwrap().meta().name,
+            "HOT-ROWEX"
+        );
+        assert!(concurrent_backend("no-such-index").is_none());
+        assert!(concurrent_backend("").is_none());
+    }
+
+    #[test]
+    fn factory_builds_sharded_composites() {
+        let idx = backend("lipp+", 4).expect("sharded lipp+");
+        assert_eq!(idx.meta().name, "sharded(LIPP+,4)");
+        assert!(idx.meta().concurrent);
+        // shards <= 1 yields the bare backend.
+        let idx = backend("lipp+", 1).expect("bare lipp+");
+        assert_eq!(idx.meta().name, "LIPP+");
+        assert!(backend("nope", 4).is_none());
+        // Hash scheme shows in the name.
+        let idx = sharded_index("xindex", Partitioner::hash(2)).expect("hash-sharded");
+        assert_eq!(idx.meta().name, "sharded(XIndex,2,hash)");
+    }
+
+    #[test]
+    fn interned_names_are_stable() {
+        let a = backend("alex+", 2).unwrap().meta().name;
+        let b = backend("alex+", 2).unwrap().meta().name;
+        assert!(
+            std::ptr::eq(a, b),
+            "same name must intern to one allocation"
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! --keys N      number of keys per dataset        (default 200000)
 //! --threads T   worker threads for concurrent runs (default: available cores)
 //! --seed S      RNG seed                           (default 42)
+//! --shards N    max shard count for sharded serving-layer sweeps (default 8)
 //! --quick       shrink everything for a smoke run
 //! ```
 
@@ -16,6 +17,9 @@ pub struct RunOpts {
     pub keys: usize,
     pub threads: usize,
     pub seed: u64,
+    /// Upper bound of the shard-count axis in serving-layer sweeps
+    /// (`figs_shard_scalability`); other binaries ignore it.
+    pub shards: usize,
     pub quick: bool,
 }
 
@@ -27,6 +31,7 @@ impl Default for RunOpts {
                 .map(|n| n.get())
                 .unwrap_or(1),
             seed: 42,
+            shards: 8,
             quick: false,
         }
     }
@@ -54,6 +59,11 @@ impl RunOpts {
                         opts.seed = v;
                     }
                 }
+                "--shards" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        opts.shards = v;
+                    }
+                }
                 "--quick" => opts.quick = true,
                 _ => {}
             }
@@ -63,6 +73,7 @@ impl RunOpts {
         }
         opts.keys = opts.keys.max(1_000);
         opts.threads = opts.threads.max(1);
+        opts.shards = opts.shards.max(1);
         opts
     }
 
@@ -89,6 +100,17 @@ mod tests {
         assert_eq!(o.keys, 50_000);
         assert_eq!(o.threads, 2);
         assert_eq!(o.seed, 7);
+        assert_eq!(o.shards, 8, "default shard axis");
+    }
+
+    #[test]
+    fn shards_flag_parses_and_clamps() {
+        let o = RunOpts::parse(s(&["--shards", "16"]));
+        assert_eq!(o.shards, 16);
+        let o = RunOpts::parse(s(&["--shards", "0"]));
+        assert_eq!(o.shards, 1);
+        let o = RunOpts::parse(s(&["--shards", "junk"]));
+        assert_eq!(o.shards, 8);
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! Registry smoke tests: fast-failing coverage that every registered index
 //! survives a tiny insert/lookup round-trip, so registry regressions (a
 //! renamed entry, a broken constructor, a trait-impl typo) surface in
-//! milliseconds without the heavy end-to-end suite.
+//! milliseconds without the heavy end-to-end suite. Covers the plain
+//! registries, the `sharded(...)` serving-layer entries, and the
+//! string-keyed backend factory.
 
-use gre_bench::registry::{concurrent_indexes, single_thread_indexes};
+use gre_bench::registry::{
+    backend, concurrent_backend, concurrent_indexes, sharded_concurrent_indexes,
+    single_thread_indexes, CONCURRENT_BACKENDS,
+};
 
 const TINY: u64 = 64;
 
@@ -16,6 +21,7 @@ fn registries_are_non_empty() {
     assert!(!single_thread_indexes().is_empty());
     assert!(!concurrent_indexes(true).is_empty());
     assert!(!concurrent_indexes(false).is_empty());
+    assert!(!sharded_concurrent_indexes(4).is_empty());
 }
 
 #[test]
@@ -26,7 +32,11 @@ fn registry_names_are_unique() {
     names.dedup();
     assert_eq!(names.len(), len, "duplicate single-thread registry name");
 
-    let mut names: Vec<&str> = concurrent_indexes(true).iter().map(|e| e.name).collect();
+    let mut names: Vec<String> = concurrent_indexes(true)
+        .into_iter()
+        .map(|e| e.name)
+        .chain(sharded_concurrent_indexes(4).into_iter().map(|e| e.name))
+        .collect();
     names.sort_unstable();
     let len = names.len();
     names.dedup();
@@ -61,4 +71,40 @@ fn every_concurrent_entry_round_trips() {
         assert_eq!(e.index.get(2), Some(999), "{} read-own-insert", e.name);
         assert_eq!(e.index.get(0), None, "{} absent key", e.name);
     }
+}
+
+#[test]
+fn every_sharded_entry_round_trips() {
+    let entries = tiny_entries();
+    for shards in [2usize, 4] {
+        for mut e in sharded_concurrent_indexes(shards) {
+            assert!(
+                e.name.starts_with("sharded(") && e.name.ends_with(&format!(",{shards})")),
+                "sharded entry name encodes backend and shard count: {}",
+                e.name
+            );
+            e.index.bulk_load(&entries);
+            assert_eq!(e.index.len(), entries.len(), "{} bulk load", e.name);
+            for &(k, v) in &entries {
+                assert_eq!(e.index.get(k), Some(v), "{} lookup {k}", e.name);
+            }
+            assert!(e.index.insert(2, 999), "{} fresh insert", e.name);
+            assert_eq!(e.index.get(2), Some(999), "{} read-own-insert", e.name);
+            assert_eq!(e.index.get(0), None, "{} absent key", e.name);
+            assert_eq!(e.index.meta().name, e.name, "{} meta name", e.name);
+        }
+    }
+}
+
+#[test]
+fn backend_factory_covers_every_registry_name() {
+    for (name, _) in CONCURRENT_BACKENDS {
+        let bare = concurrent_backend(name)
+            .unwrap_or_else(|| panic!("factory must resolve registry name {name}"));
+        assert_eq!(bare.meta().name, name);
+        let sharded =
+            backend(name, 3).unwrap_or_else(|| panic!("factory must build sharded({name},3)"));
+        assert_eq!(sharded.meta().name, format!("sharded({name},3)"));
+    }
+    assert!(backend("definitely-not-an-index", 3).is_none());
 }

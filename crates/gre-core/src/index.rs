@@ -119,6 +119,21 @@ pub trait ConcurrentIndex<K: Key>: Send + Sync {
     fn insert(&self, key: K, value: Payload) -> bool;
 
     /// Update payload of an existing key; `false` if absent.
+    ///
+    /// # Atomicity contract
+    ///
+    /// A conforming implementation must make the presence check and the
+    /// payload write appear as **one** atomic step with respect to other
+    /// operations on the same key: a concurrent `update`/`insert`/`remove`
+    /// of that key may be ordered before or after it, but never in between.
+    ///
+    /// The provided default does **not** meet the contract — its
+    /// `get`-then-`insert` spans two critical sections, so a racing `remove`
+    /// can slip in between (resurrecting the key) and a racing `update` can
+    /// be lost. It exists only as a convenience for backends whose callers
+    /// never mix updates with deletes; every backend that serves mixed write
+    /// traffic must override it with a single-critical-section version (see
+    /// [`MutexIndex`] for the minimal correct shape).
     fn update(&self, key: K, value: Payload) -> bool {
         if self.get(key).is_some() {
             self.insert(key, value);
@@ -145,8 +160,115 @@ pub trait ConcurrentIndex<K: Key>: Send + Sync {
     /// End-to-end memory consumption in bytes.
     fn memory_usage(&self) -> usize;
 
+    /// Statistics accumulated since construction or the last `reset_stats`.
+    /// Counters may be slightly stale while writers are active.
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+
+    /// Reset accumulated statistics. Takes `&self` so the harness can reset
+    /// between measurement phases without exclusive access.
+    fn reset_stats(&self) {}
+
+    /// Detailed breakdown of the most recent insert (Figure 3 / Table 3).
+    fn last_insert_stats(&self) -> InsertStats {
+        InsertStats::default()
+    }
+
     /// Index metadata for reporting.
     fn meta(&self) -> IndexMeta;
+}
+
+/// Boxed single-threaded indexes are indexes: forwarding impl so harness
+/// code can treat `Box<dyn Index<K>>` (and boxes of concrete indexes)
+/// uniformly with unboxed backends. Forwards every method, including the
+/// defaulted ones, so overrides in the boxed type are preserved.
+impl<K: Key, T: Index<K> + ?Sized> Index<K> for Box<T> {
+    fn bulk_load(&mut self, entries: &[(K, Payload)]) {
+        (**self).bulk_load(entries);
+    }
+    fn get(&self, key: K) -> Option<Payload> {
+        (**self).get(key)
+    }
+    fn insert(&mut self, key: K, value: Payload) -> bool {
+        (**self).insert(key, value)
+    }
+    fn update(&mut self, key: K, value: Payload) -> bool {
+        (**self).update(key, value)
+    }
+    fn remove(&mut self, key: K) -> Option<Payload> {
+        (**self).remove(key)
+    }
+    fn range(&self, spec: RangeSpec<K>, out: &mut Vec<(K, Payload)>) -> usize {
+        (**self).range(spec, out)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+    fn memory_usage(&self) -> usize {
+        (**self).memory_usage()
+    }
+    fn stats(&self) -> StatsSnapshot {
+        (**self).stats()
+    }
+    fn reset_stats(&mut self) {
+        (**self).reset_stats();
+    }
+    fn last_insert_stats(&self) -> InsertStats {
+        (**self).last_insert_stats()
+    }
+    fn meta(&self) -> IndexMeta {
+        (**self).meta()
+    }
+}
+
+/// Boxed concurrent indexes are concurrent indexes. This is what lets a
+/// composite structure (e.g. `gre-shard`'s `ShardedIndex`) hold
+/// `Box<dyn ConcurrentIndex<K>>` backends chosen at runtime while itself
+/// implementing `ConcurrentIndex<K>`.
+impl<K: Key, T: ConcurrentIndex<K> + ?Sized> ConcurrentIndex<K> for Box<T> {
+    fn bulk_load(&mut self, entries: &[(K, Payload)]) {
+        (**self).bulk_load(entries);
+    }
+    fn get(&self, key: K) -> Option<Payload> {
+        (**self).get(key)
+    }
+    fn insert(&self, key: K, value: Payload) -> bool {
+        (**self).insert(key, value)
+    }
+    fn update(&self, key: K, value: Payload) -> bool {
+        (**self).update(key, value)
+    }
+    fn remove(&self, key: K) -> Option<Payload> {
+        (**self).remove(key)
+    }
+    fn range(&self, spec: RangeSpec<K>, out: &mut Vec<(K, Payload)>) -> usize {
+        (**self).range(spec, out)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+    fn memory_usage(&self) -> usize {
+        (**self).memory_usage()
+    }
+    fn stats(&self) -> StatsSnapshot {
+        (**self).stats()
+    }
+    fn reset_stats(&self) {
+        (**self).reset_stats();
+    }
+    fn last_insert_stats(&self) -> InsertStats {
+        (**self).last_insert_stats()
+    }
+    fn meta(&self) -> IndexMeta {
+        (**self).meta()
+    }
 }
 
 /// Blanket adapter: any single-threaded index wrapped in a global mutex
@@ -179,6 +301,13 @@ impl<K: Key, I: Index<K>> ConcurrentIndex<K> for MutexIndex<I> {
         self.inner.lock().insert(key, value)
     }
 
+    fn update(&self, key: K, value: Payload) -> bool {
+        // One lock() for the whole check-then-write, satisfying the trait's
+        // atomicity contract; the defaulted get-then-insert would open a
+        // lost-update window between its two critical sections.
+        self.inner.lock().update(key, value)
+    }
+
     fn remove(&self, key: K) -> Option<Payload> {
         self.inner.lock().remove(key)
     }
@@ -193,6 +322,18 @@ impl<K: Key, I: Index<K>> ConcurrentIndex<K> for MutexIndex<I> {
 
     fn memory_usage(&self) -> usize {
         self.inner.lock().memory_usage()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.inner.lock().stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.lock().reset_stats();
+    }
+
+    fn last_insert_stats(&self) -> InsertStats {
+        self.inner.lock().last_insert_stats()
     }
 
     fn meta(&self) -> IndexMeta {
@@ -210,9 +351,11 @@ mod tests {
 
     /// A reference index backed by `BTreeMap`, used here to exercise the
     /// trait defaults and by other crates' property tests as the model.
+    /// Tracks insert/lookup counters so adapter stats forwarding is testable.
     #[derive(Default)]
     pub struct ModelIndex {
         map: BTreeMap<u64, Payload>,
+        counters: crate::stats::OpCounters,
     }
 
     impl Index<u64> for ModelIndex {
@@ -223,10 +366,17 @@ mod tests {
             self.map.get(&key).copied()
         }
         fn insert(&mut self, key: u64, value: Payload) -> bool {
+            self.counters.record_insert(&InsertStats::default());
             self.map.insert(key, value).is_none()
         }
         fn remove(&mut self, key: u64) -> Option<Payload> {
             self.map.remove(&key)
+        }
+        fn stats(&self) -> StatsSnapshot {
+            StatsSnapshot::new(self.counters)
+        }
+        fn reset_stats(&mut self) {
+            self.counters = Default::default();
         }
         fn range(&self, spec: RangeSpec<u64>, out: &mut Vec<(u64, Payload)>) -> usize {
             let before = out.len();
@@ -299,6 +449,64 @@ mod tests {
             }
         });
         assert_eq!(wrapped.len(), 2 + 4 * 250);
+    }
+
+    #[test]
+    fn mutex_adapter_forwards_stats() {
+        let wrapped = MutexIndex::new(ModelIndex::default(), "model-mutex");
+        wrapped.insert(1, 1);
+        wrapped.insert(2, 2);
+        assert_eq!(
+            wrapped.stats().counters.inserts,
+            2,
+            "stats must come from the inner index, not the trait default"
+        );
+        ConcurrentIndex::reset_stats(&wrapped);
+        assert_eq!(wrapped.stats().counters.inserts, 0);
+        assert_eq!(wrapped.last_insert_stats(), InsertStats::default());
+    }
+
+    #[test]
+    fn boxed_index_forwards_everything() {
+        let mut boxed: Box<dyn Index<u64>> = Box::new(ModelIndex::default());
+        boxed.bulk_load(&[(1, 10), (2, 20)]);
+        assert_eq!(boxed.len(), 2);
+        assert!(!boxed.is_empty());
+        assert!(boxed.insert(3, 30));
+        assert!(boxed.update(3, 33));
+        assert_eq!(boxed.get(3), Some(33));
+        assert_eq!(boxed.remove(3), Some(33));
+        let mut out = Vec::new();
+        assert_eq!(boxed.range(RangeSpec::new(0, 10), &mut out), 2);
+        assert!(boxed.memory_usage() > 0);
+        // The inner ModelIndex counted 2 inserts (insert + update-via-insert);
+        // the Box impl must surface them instead of the defaulted zeros.
+        assert_eq!(boxed.stats().counters.inserts, 2);
+        boxed.reset_stats();
+        assert_eq!(boxed.stats().counters.inserts, 0);
+        assert_eq!(boxed.meta().name, "model");
+    }
+
+    #[test]
+    fn boxed_concurrent_index_forwards_everything() {
+        let mut boxed: Box<dyn ConcurrentIndex<u64>> =
+            Box::new(MutexIndex::new(ModelIndex::default(), "boxed-model"));
+        boxed.bulk_load(&[(1, 10), (2, 20)]);
+        assert_eq!(boxed.len(), 2);
+        assert!(!boxed.is_empty());
+        assert!(boxed.insert(3, 30));
+        assert!(boxed.update(3, 33));
+        assert!(!boxed.update(99, 1));
+        assert_eq!(boxed.get(3), Some(33));
+        assert_eq!(boxed.remove(3), Some(33));
+        let mut out = Vec::new();
+        assert_eq!(boxed.range(RangeSpec::new(0, 10), &mut out), 2);
+        assert!(boxed.memory_usage() > 0);
+        assert!(boxed.stats().counters.inserts > 0);
+        boxed.reset_stats();
+        assert_eq!(boxed.stats().counters.inserts, 0);
+        assert_eq!(boxed.last_insert_stats(), InsertStats::default());
+        assert_eq!(boxed.meta().name, "boxed-model");
     }
 
     #[test]

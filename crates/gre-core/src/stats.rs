@@ -128,6 +128,22 @@ impl OpCounters {
     pub fn record_range(&mut self) {
         self.range_scans += 1;
     }
+
+    /// Element-wise accumulation of another counter set, used by composite
+    /// indexes (sharded / partitioned stores) to report merged statistics
+    /// across their per-partition backends.
+    pub fn merge(&mut self, other: &OpCounters) {
+        self.lookups += other.lookups;
+        self.inserts += other.inserts;
+        self.removes += other.removes;
+        self.range_scans += other.range_scans;
+        self.nodes_traversed += other.nodes_traversed;
+        self.keys_shifted += other.keys_shifted;
+        self.nodes_created += other.nodes_created;
+        self.smo_count += other.smo_count;
+        self.retrains += other.retrains;
+        self.insert_breakdown.accumulate(&other.insert_breakdown);
+    }
 }
 
 /// A point-in-time snapshot of an index's accumulated statistics, together
@@ -259,6 +275,37 @@ mod tests {
         assert_eq!(c.nodes_created, 1);
         assert_eq!(c.smo_count, 1);
         assert_eq!(c.insert_breakdown.lookup_ns, 50);
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = OpCounters {
+            lookups: 1,
+            inserts: 2,
+            removes: 3,
+            range_scans: 4,
+            nodes_traversed: 5,
+            keys_shifted: 6,
+            nodes_created: 7,
+            smo_count: 8,
+            retrains: 9,
+            insert_breakdown: InsertBreakdown {
+                lookup_ns: 10,
+                ..Default::default()
+            },
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.lookups, 2);
+        assert_eq!(a.inserts, 4);
+        assert_eq!(a.removes, 6);
+        assert_eq!(a.range_scans, 8);
+        assert_eq!(a.nodes_traversed, 10);
+        assert_eq!(a.keys_shifted, 12);
+        assert_eq!(a.nodes_created, 14);
+        assert_eq!(a.smo_count, 16);
+        assert_eq!(a.retrains, 18);
+        assert_eq!(a.insert_breakdown.lookup_ns, 20);
     }
 
     #[test]

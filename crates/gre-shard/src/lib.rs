@@ -1,0 +1,38 @@
+//! # gre-shard
+//!
+//! A range-partitioned concurrent serving layer over any GRE index backend.
+//!
+//! The paper's multi-thread experiments (Figures 4–6) show every updatable
+//! learned index hitting a scalability wall from structure-modification
+//! contention: past some thread count, one structure's internal
+//! synchronization — however fine-grained — serializes writers. This crate
+//! sits *above* the [`ConcurrentIndex`](gre_core::ConcurrentIndex) trait and
+//! scales horizontally instead: partition the key space into `N` shards,
+//! give each shard its own backend instance (learned or traditional), and
+//! contention drops by construction because unrelated keys never touch the
+//! same structure.
+//!
+//! Three pieces:
+//!
+//! * [`partition`] — the `key -> shard` maps: [`Partitioner::range_from_samples`]
+//!   places boundaries at the quantiles of a sampled key CDF (even spread
+//!   under key-distribution skew, ordered shards for sequential cross-shard
+//!   scans); [`Partitioner::hash`] scatters hot contiguous regions across
+//!   all shards (access-skew resistance, at the cost of fan-out scans).
+//! * [`sharded`] — [`ShardedIndex`], the composite store. It implements
+//!   `ConcurrentIndex` itself, so every existing harness entry point
+//!   (`run_concurrent`, figure binaries, examples) serves a sharded variant
+//!   unchanged; `range()` stitches cross-shard scans in key order and
+//!   `len`/`memory_usage`/`stats`/`meta` report merged values.
+//! * [`pipeline`] — [`ShardPipeline`], the batched request path:
+//!   [`OpBatch`]es are split into per-shard sub-batches (amortizing routing
+//!   over many ops) and executed on a fixed worker pool with per-shard FIFO
+//!   order.
+
+pub mod partition;
+pub mod pipeline;
+pub mod sharded;
+
+pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
+pub use pipeline::{BatchResult, BatchTicket, OpBatch, ShardPipeline};
+pub use sharded::ShardedIndex;

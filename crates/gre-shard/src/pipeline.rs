@@ -1,0 +1,412 @@
+//! The batched request pipeline: `OpBatch` → per-shard sub-batches executed
+//! on a fixed worker pool.
+//!
+//! Callers hand the pipeline whole batches of operations instead of issuing
+//! them one by one; the pipeline routes each batch into per-shard sub-batches
+//! (amortizing partitioner lookups and thread hand-off over many ops) and
+//! executes them on `workers` long-lived threads. Shard `s` is pinned to
+//! worker `s % workers`, and each worker drains its queue in arrival order,
+//! which yields the pipeline's ordering guarantee: **operations on the same
+//! shard execute in submission order** (per-shard FIFO). Operations on
+//! different shards from the same batch may run concurrently — exactly the
+//! freedom a partitioned store is allowed to exploit.
+//!
+//! Point operations go straight to the owning shard's backend (the routing
+//! already picked it, so the composite's dispatch is skipped); range scans
+//! run through the full [`ShardedIndex`] so cross-shard stitching applies.
+
+use crate::sharded::ShardedIndex;
+use gre_core::{ConcurrentIndex, Payload, RangeSpec};
+use gre_workloads::{split_ops_by_shard, Op};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A batch of operations submitted to the pipeline as one unit.
+#[derive(Debug, Clone, Default)]
+pub struct OpBatch {
+    pub ops: Vec<Op>,
+}
+
+impl OpBatch {
+    pub fn new(ops: Vec<Op>) -> Self {
+        OpBatch { ops }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Aggregated outcome of one executed batch (or sub-batch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Operations executed.
+    pub ops: usize,
+    /// Lookups that found their key.
+    pub hits: usize,
+    /// Keys returned by range scans.
+    pub scanned_keys: usize,
+    /// Inserts that created a new key (as opposed to updating in place).
+    pub new_keys: usize,
+    /// Updates that found their key.
+    pub updated: usize,
+    /// Removes that found their key.
+    pub removed: usize,
+}
+
+impl BatchResult {
+    fn merge(&mut self, other: &BatchResult) {
+        self.ops += other.ops;
+        self.hits += other.hits;
+        self.scanned_keys += other.scanned_keys;
+        self.new_keys += other.new_keys;
+        self.updated += other.updated;
+        self.removed += other.removed;
+    }
+}
+
+/// A per-shard unit of work queued to a worker.
+struct Job {
+    shard: usize,
+    ops: Vec<Op>,
+    done: Sender<BatchResult>,
+}
+
+/// Handle to an in-flight batch; [`BatchTicket::wait`] blocks until every
+/// sub-batch has executed and returns the merged result.
+pub struct BatchTicket {
+    pending: usize,
+    rx: Receiver<BatchResult>,
+    /// Ops that were part of the batch (kept so `wait` can report totals
+    /// even for an all-empty split).
+    ops: usize,
+}
+
+impl BatchTicket {
+    /// Block until the whole batch has executed; returns the merged result.
+    pub fn wait(self) -> BatchResult {
+        let mut merged = BatchResult::default();
+        for _ in 0..self.pending {
+            let part = self
+                .rx
+                .recv()
+                .expect("pipeline worker dropped a sub-batch result");
+            merged.merge(&part);
+        }
+        debug_assert_eq!(merged.ops, self.ops);
+        merged
+    }
+}
+
+/// A fixed worker pool executing batches against a shared [`ShardedIndex`].
+///
+/// Dropping the pipeline shuts the workers down (they drain already-queued
+/// jobs first, so submitted work is never lost).
+pub struct ShardPipeline<B: ConcurrentIndex<u64> + 'static> {
+    index: Arc<ShardedIndex<u64, B>>,
+    queues: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
+    /// Spawn `workers` threads serving `index`. The worker count is clamped
+    /// to at least 1 and at most the shard count (extra workers would never
+    /// receive a shard assignment).
+    pub fn new(index: Arc<ShardedIndex<u64, B>>, workers: usize) -> Self {
+        let workers = workers.clamp(1, index.num_shards());
+        let mut queues = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let index = Arc::clone(&index);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let result = execute_sub_batch(&index, job.shard, &job.ops);
+                    // The submitter may have stopped waiting; that's fine.
+                    let _ = job.done.send(result);
+                }
+            }));
+            queues.push(tx);
+        }
+        ShardPipeline {
+            index,
+            queues,
+            workers: handles,
+        }
+    }
+
+    /// The served index (for reads outside the batch path).
+    pub fn index(&self) -> &Arc<ShardedIndex<u64, B>> {
+        &self.index
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Split `batch` into per-shard sub-batches and enqueue them. Returns a
+    /// ticket to wait on. Sub-batches of the same shard (across submissions)
+    /// execute in submission order on the shard's pinned worker.
+    pub fn submit(&self, batch: OpBatch) -> BatchTicket {
+        let shards = self.index.num_shards();
+        let partitioner = self.index.partitioner();
+        let ops = batch.ops.len();
+        let sub_batches = split_ops_by_shard(&batch.ops, shards, |k| partitioner.shard_of(k));
+        let (done_tx, done_rx) = channel();
+        let mut pending = 0usize;
+        for (shard, sub) in sub_batches.into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            self.queues[shard % self.queues.len()]
+                .send(Job {
+                    shard,
+                    ops: sub,
+                    done: done_tx.clone(),
+                })
+                .expect("pipeline worker exited early");
+            pending += 1;
+        }
+        BatchTicket {
+            pending,
+            rx: done_rx,
+            ops,
+        }
+    }
+
+    /// Submit and wait: the synchronous convenience wrapper.
+    pub fn execute(&self, batch: OpBatch) -> BatchResult {
+        self.submit(batch).wait()
+    }
+}
+
+impl<B: ConcurrentIndex<u64> + 'static> Drop for ShardPipeline<B> {
+    fn drop(&mut self) {
+        // Closing the channels ends each worker's recv loop after it drains
+        // the jobs already queued.
+        self.queues.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Execute one per-shard sub-batch. Point ops hit the owning backend
+/// directly; scans go through the composite for cross-shard stitching.
+fn execute_sub_batch<B: ConcurrentIndex<u64>>(
+    index: &ShardedIndex<u64, B>,
+    shard: usize,
+    ops: &[Op],
+) -> BatchResult {
+    let backend = index.backend(shard);
+    let mut result = BatchResult {
+        ops: ops.len(),
+        ..Default::default()
+    };
+    let mut scan_buf: Vec<(u64, Payload)> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Get(k) => {
+                if backend.get(k).is_some() {
+                    result.hits += 1;
+                }
+            }
+            Op::Insert(k, v) => {
+                if backend.insert(k, v) {
+                    result.new_keys += 1;
+                }
+            }
+            Op::Update(k, v) => {
+                if backend.update(k, v) {
+                    result.updated += 1;
+                }
+            }
+            Op::Remove(k) => {
+                if backend.remove(k).is_some() {
+                    result.removed += 1;
+                }
+            }
+            Op::Scan(k, count) => {
+                scan_buf.clear();
+                result.scanned_keys += index.range(RangeSpec::new(k, count), &mut scan_buf);
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioner;
+    use gre_core::index::MutexIndex;
+    use gre_core::{Index, IndexMeta};
+    use std::collections::BTreeMap;
+
+    /// Single-threaded BTreeMap index, wrapped per shard in MutexIndex.
+    #[derive(Default)]
+    struct MapIndex {
+        map: BTreeMap<u64, Payload>,
+    }
+
+    impl Index<u64> for MapIndex {
+        fn bulk_load(&mut self, entries: &[(u64, Payload)]) {
+            self.map = entries.iter().copied().collect();
+        }
+        fn get(&self, key: u64) -> Option<Payload> {
+            self.map.get(&key).copied()
+        }
+        fn insert(&mut self, key: u64, value: Payload) -> bool {
+            self.map.insert(key, value).is_none()
+        }
+        fn update(&mut self, key: u64, value: Payload) -> bool {
+            match self.map.get_mut(&key) {
+                Some(v) => {
+                    *v = value;
+                    true
+                }
+                None => false,
+            }
+        }
+        fn remove(&mut self, key: u64) -> Option<Payload> {
+            self.map.remove(&key)
+        }
+        fn range(&self, spec: RangeSpec<u64>, out: &mut Vec<(u64, Payload)>) -> usize {
+            let before = out.len();
+            out.extend(
+                self.map
+                    .range(spec.start..)
+                    .take(spec.count)
+                    .map(|(k, v)| (*k, *v)),
+            );
+            out.len() - before
+        }
+        fn len(&self) -> usize {
+            self.map.len()
+        }
+        fn memory_usage(&self) -> usize {
+            self.map.len() * 48
+        }
+        fn meta(&self) -> IndexMeta {
+            IndexMeta {
+                name: "map",
+                learned: false,
+                concurrent: false,
+                supports_delete: true,
+                supports_range: true,
+            }
+        }
+    }
+
+    fn pipeline(shards: usize, workers: usize) -> ShardPipeline<MutexIndex<MapIndex>> {
+        let mut idx = ShardedIndex::from_factory(Partitioner::range(shards), |_| {
+            MutexIndex::new(MapIndex::default(), "map-shard")
+        });
+        let entries: Vec<(u64, Payload)> = (0..4_000u64).map(|i| (i * 2, i)).collect();
+        idx.bulk_load(&entries);
+        ShardPipeline::new(Arc::new(idx), workers)
+    }
+
+    #[test]
+    fn batch_results_aggregate_per_op_outcomes() {
+        let p = pipeline(4, 2);
+        assert_eq!(p.worker_count(), 2);
+        let batch = OpBatch::new(vec![
+            Op::Get(0),           // hit
+            Op::Get(1),           // miss (odd keys absent)
+            Op::Insert(1, 10),    // new key
+            Op::Insert(0, 99),    // overwrite, not a new key
+            Op::Update(2, 77),    // present
+            Op::Update(9_999, 0), // absent
+            Op::Remove(4),        // present
+            Op::Remove(5),        // absent
+            Op::Scan(0, 100),     // 100 keys
+        ]);
+        assert_eq!(batch.len(), 9);
+        assert!(!batch.is_empty());
+        let r = p.execute(batch);
+        assert_eq!(r.ops, 9);
+        assert_eq!(r.hits, 1);
+        assert_eq!(r.new_keys, 1);
+        assert_eq!(r.updated, 1);
+        assert_eq!(r.removed, 1);
+        assert_eq!(r.scanned_keys, 100);
+        // The writes really landed.
+        assert_eq!(p.index().get(1), Some(10));
+        assert_eq!(p.index().get(0), Some(99));
+        assert_eq!(p.index().get(2), Some(77));
+        assert_eq!(p.index().get(4), None);
+    }
+
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let p = pipeline(4, 4);
+        let r = p.execute(OpBatch::default());
+        assert_eq!(r, BatchResult::default());
+    }
+
+    #[test]
+    fn per_shard_fifo_makes_same_key_writes_deterministic() {
+        let p = pipeline(8, 3);
+        // 100 successive single-op batches updating the same key: FIFO per
+        // shard means the last submitted value must win, every time.
+        for round in 0..100u64 {
+            p.submit(OpBatch::new(vec![Op::Insert(0, round)]));
+        }
+        let r = p.execute(OpBatch::new(vec![Op::Get(0)]));
+        assert_eq!(r.hits, 1);
+        assert_eq!(p.index().get(0), Some(99));
+    }
+
+    #[test]
+    fn worker_count_clamps_to_shard_count() {
+        let p = pipeline(2, 16);
+        assert_eq!(p.worker_count(), 2);
+        let p = pipeline(4, 0);
+        assert_eq!(p.worker_count(), 1);
+    }
+
+    #[test]
+    fn drop_drains_queued_work() {
+        let total;
+        {
+            let p = pipeline(4, 2);
+            for i in 0..50u64 {
+                // Tickets are intentionally dropped: fire-and-forget.
+                p.submit(OpBatch::new(vec![Op::Insert(100_001 + 2 * i, i)]));
+            }
+            total = Arc::clone(p.index());
+            // p drops here; workers must finish the queued inserts first.
+        }
+        assert_eq!(total.len(), 4_000 + 50);
+    }
+
+    #[test]
+    fn concurrent_submitters_lose_no_updates() {
+        let p = pipeline(8, 4);
+        let p = &p;
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for b in 0..20u64 {
+                        let ops: Vec<Op> = (0..50u64)
+                            .map(|i| {
+                                let k = 1_000_000 + t * 1_000_000 + b * 50 + i;
+                                Op::Insert(k, k)
+                            })
+                            .collect();
+                        let r = p.execute(OpBatch::new(ops));
+                        assert_eq!(r.new_keys, 50);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.index().len(), 4_000 + 4 * 20 * 50);
+    }
+}

@@ -1,0 +1,441 @@
+//! `ShardedIndex`: a horizontally partitioned store over any
+//! [`ConcurrentIndex`] backend.
+//!
+//! Each shard is an independent backend instance; a [`Partitioner`] routes
+//! every key to exactly one shard, so point operations touch one backend and
+//! scale past the internal lock granularity of any single instance. The
+//! composite itself implements [`ConcurrentIndex`], which means it drops into
+//! every existing harness entry point (`run_concurrent`, the figure binaries,
+//! the examples) unchanged — sharding composes with, rather than replaces,
+//! the backends.
+//!
+//! This is a different layer from `gre-traditional`'s internal `Sharded`
+//! emulation wrapper: that one builds a *concurrent index out of
+//! single-threaded parts* to model OLC behaviour; this one builds a *serving
+//! layer out of already-concurrent backends* (learned or traditional), with
+//! pluggable partitioning and merged reporting.
+
+use crate::partition::Partitioner;
+use gre_core::{ConcurrentIndex, IndexMeta, InsertStats, Key, Payload, RangeSpec, StatsSnapshot};
+
+/// A range- or hash-partitioned store over `N` backend instances.
+pub struct ShardedIndex<K: Key, B: ConcurrentIndex<K>> {
+    partitioner: Partitioner<K>,
+    backends: Vec<B>,
+    name: &'static str,
+}
+
+impl<K: Key, B: ConcurrentIndex<K>> ShardedIndex<K, B> {
+    /// Build from a partitioner and one backend per shard.
+    ///
+    /// # Panics
+    /// If `backends.len()` differs from `partitioner.shards()`.
+    pub fn new(partitioner: Partitioner<K>, backends: Vec<B>) -> Self {
+        assert_eq!(
+            backends.len(),
+            partitioner.shards(),
+            "one backend per shard required"
+        );
+        ShardedIndex {
+            partitioner,
+            backends,
+            name: "sharded",
+        }
+    }
+
+    /// Build `partitioner.shards()` backends from a factory closure (the
+    /// closure receives the shard id).
+    pub fn from_factory(partitioner: Partitioner<K>, mut factory: impl FnMut(usize) -> B) -> Self {
+        let backends = (0..partitioner.shards()).map(&mut factory).collect();
+        Self::new(partitioner, backends)
+    }
+
+    /// Set the name reported through [`ConcurrentIndex::meta`].
+    pub fn with_name(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The shard `key` routes to.
+    #[inline]
+    pub fn shard_of(&self, key: K) -> usize {
+        self.partitioner.shard_of(key)
+    }
+
+    /// The backend serving shard `shard`.
+    pub fn backend(&self, shard: usize) -> &B {
+        &self.backends[shard]
+    }
+
+    /// The partitioner in use.
+    pub fn partitioner(&self) -> &Partitioner<K> {
+        &self.partitioner
+    }
+
+    /// Entry count of every shard, for balance diagnostics.
+    pub fn per_shard_lens(&self) -> Vec<usize> {
+        self.backends.iter().map(|b| b.len()).collect()
+    }
+
+    /// Fan-out range scan for unordered (hash) partitioning: every shard may
+    /// hold keys from the requested window, so collect up to `count` from
+    /// each and k-way merge the per-shard (individually sorted) results.
+    fn range_fan_out(&self, spec: RangeSpec<K>, out: &mut Vec<(K, Payload)>) -> usize {
+        let mut per_shard: Vec<Vec<(K, Payload)>> = Vec::with_capacity(self.backends.len());
+        for b in &self.backends {
+            let mut buf = Vec::new();
+            b.range(spec, &mut buf);
+            per_shard.push(buf);
+        }
+        let before = out.len();
+        let mut cursors = vec![0usize; per_shard.len()];
+        while out.len() - before < spec.count {
+            let mut min: Option<(usize, K)> = None;
+            for (s, buf) in per_shard.iter().enumerate() {
+                if let Some(&(k, _)) = buf.get(cursors[s]) {
+                    if min.map_or(true, |(_, mk)| k < mk) {
+                        min = Some((s, k));
+                    }
+                }
+            }
+            match min {
+                Some((s, _)) => {
+                    out.push(per_shard[s][cursors[s]]);
+                    cursors[s] += 1;
+                }
+                None => break,
+            }
+        }
+        out.len() - before
+    }
+}
+
+impl<K: Key, B: ConcurrentIndex<K>> ConcurrentIndex<K> for ShardedIndex<K, B> {
+    /// Refits range boundaries to the loaded keys' CDF, then splits the
+    /// (sorted) entries into per-shard loads. Hash partitioning scatters;
+    /// every scattered sub-sequence of a sorted slice is itself sorted, so
+    /// backend bulk-load preconditions hold either way.
+    fn bulk_load(&mut self, entries: &[(K, Payload)]) {
+        if self.partitioner.is_ordered() {
+            // Stride-sample down to the CDF sketch budget up front so the
+            // transient key copy is O(SAMPLE_LIMIT), not O(entries).
+            let stride = entries
+                .len()
+                .div_ceil(crate::partition::SAMPLE_LIMIT)
+                .max(1);
+            let keys: Vec<K> = entries.iter().step_by(stride).map(|e| e.0).collect();
+            self.partitioner.refit(&keys);
+            // Contiguous slices per shard, found by routing boundaries.
+            let mut start = 0usize;
+            for (s, backend) in self.backends.iter_mut().enumerate() {
+                let end = if s + 1 < self.partitioner.shards() {
+                    entries.partition_point(|e| self.partitioner.shard_of(e.0) <= s)
+                } else {
+                    entries.len()
+                };
+                backend.bulk_load(&entries[start..end]);
+                start = end;
+            }
+        } else {
+            let mut buckets: Vec<Vec<(K, Payload)>> =
+                (0..self.backends.len()).map(|_| Vec::new()).collect();
+            for &e in entries {
+                buckets[self.partitioner.shard_of(e.0)].push(e);
+            }
+            for (backend, bucket) in self.backends.iter_mut().zip(&buckets) {
+                backend.bulk_load(bucket);
+            }
+        }
+    }
+
+    fn get(&self, key: K) -> Option<Payload> {
+        self.backends[self.partitioner.shard_of(key)].get(key)
+    }
+
+    fn insert(&self, key: K, value: Payload) -> bool {
+        self.backends[self.partitioner.shard_of(key)].insert(key, value)
+    }
+
+    /// As atomic as the owning shard's backend: routing adds no extra
+    /// critical section, so the trait's atomicity contract is inherited
+    /// unchanged from the backend.
+    fn update(&self, key: K, value: Payload) -> bool {
+        self.backends[self.partitioner.shard_of(key)].update(key, value)
+    }
+
+    fn remove(&self, key: K) -> Option<Payload> {
+        self.backends[self.partitioner.shard_of(key)].remove(key)
+    }
+
+    /// Cross-shard scans are stitched in key order. Range partitioning walks
+    /// shards sequentially (shard `s + 1`'s keys all exceed shard `s`'s);
+    /// hash partitioning fans out to every shard and merges.
+    fn range(&self, spec: RangeSpec<K>, out: &mut Vec<(K, Payload)>) -> usize {
+        if !self.partitioner.is_ordered() {
+            return self.range_fan_out(spec, out);
+        }
+        let before = out.len();
+        let mut remaining = spec.count;
+        for s in self.partitioner.shard_of(spec.start)..self.backends.len() {
+            if remaining == 0 {
+                break;
+            }
+            let got = self.backends[s].range(RangeSpec::new(spec.start, remaining), out);
+            remaining -= got;
+        }
+        out.len() - before
+    }
+
+    fn len(&self) -> usize {
+        self.backends.iter().map(|b| b.len()).sum()
+    }
+
+    fn memory_usage(&self) -> usize {
+        self.backends.iter().map(|b| b.memory_usage()).sum()
+    }
+
+    /// Merged statistics across all shards.
+    fn stats(&self) -> StatsSnapshot {
+        let mut counters = gre_core::OpCounters::default();
+        for b in &self.backends {
+            counters.merge(&b.stats().counters);
+        }
+        StatsSnapshot::new(counters)
+    }
+
+    fn reset_stats(&self) {
+        for b in &self.backends {
+            b.reset_stats();
+        }
+    }
+
+    fn last_insert_stats(&self) -> InsertStats {
+        // No global "most recent" insert exists across shards; report the
+        // first shard's as a representative sample.
+        self.backends
+            .first()
+            .map(|b| b.last_insert_stats())
+            .unwrap_or_default()
+    }
+
+    /// Merged metadata: capability flags are the conjunction over shards
+    /// (the composite only supports what every backend supports).
+    fn meta(&self) -> IndexMeta {
+        let mut meta = self
+            .backends
+            .first()
+            .map(|b| b.meta())
+            .unwrap_or(IndexMeta {
+                name: "sharded",
+                learned: false,
+                concurrent: true,
+                supports_delete: true,
+                supports_range: true,
+            });
+        for b in &self.backends[1..] {
+            let m = b.meta();
+            meta.learned &= m.learned;
+            meta.supports_delete &= m.supports_delete;
+            meta.supports_range &= m.supports_range;
+        }
+        meta.name = self.name;
+        meta.concurrent = true;
+        meta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::RwLock;
+    use std::collections::BTreeMap;
+
+    /// Minimal concurrent backend for unit tests: a BTreeMap behind a lock.
+    #[derive(Default)]
+    struct MapBackend {
+        map: RwLock<BTreeMap<u64, Payload>>,
+    }
+
+    impl ConcurrentIndex<u64> for MapBackend {
+        fn bulk_load(&mut self, entries: &[(u64, Payload)]) {
+            *self.map.get_mut() = entries.iter().copied().collect();
+        }
+        fn get(&self, key: u64) -> Option<Payload> {
+            self.map.read().get(&key).copied()
+        }
+        fn insert(&self, key: u64, value: Payload) -> bool {
+            self.map.write().insert(key, value).is_none()
+        }
+        fn update(&self, key: u64, value: Payload) -> bool {
+            let mut map = self.map.write();
+            match map.get_mut(&key) {
+                Some(v) => {
+                    *v = value;
+                    true
+                }
+                None => false,
+            }
+        }
+        fn remove(&self, key: u64) -> Option<Payload> {
+            self.map.write().remove(&key)
+        }
+        fn range(&self, spec: RangeSpec<u64>, out: &mut Vec<(u64, Payload)>) -> usize {
+            let map = self.map.read();
+            let before = out.len();
+            out.extend(
+                map.range(spec.start..)
+                    .take(spec.count)
+                    .map(|(k, v)| (*k, *v)),
+            );
+            out.len() - before
+        }
+        fn len(&self) -> usize {
+            self.map.read().len()
+        }
+        fn memory_usage(&self) -> usize {
+            self.map.read().len() * 48
+        }
+        fn meta(&self) -> IndexMeta {
+            IndexMeta {
+                name: "map-backend",
+                learned: false,
+                concurrent: true,
+                supports_delete: true,
+                supports_range: true,
+            }
+        }
+    }
+
+    fn entries(n: u64) -> Vec<(u64, Payload)> {
+        (0..n).map(|i| (i * 7, i)).collect()
+    }
+
+    fn sharded(partitioner: Partitioner<u64>) -> ShardedIndex<u64, MapBackend> {
+        ShardedIndex::from_factory(partitioner, |_| MapBackend::default())
+    }
+
+    #[test]
+    fn bulk_load_spreads_and_round_trips_range_scheme() {
+        let mut idx = sharded(Partitioner::range(4));
+        idx.bulk_load(&entries(8_000));
+        assert_eq!(idx.len(), 8_000);
+        let lens = idx.per_shard_lens();
+        assert_eq!(lens.len(), 4);
+        assert!(
+            lens.iter().all(|&l| l >= 1_000),
+            "range boundaries should spread the load: {lens:?}"
+        );
+        for i in (0..8_000).step_by(97) {
+            assert_eq!(idx.get(i * 7), Some(i));
+        }
+        assert_eq!(idx.get(1), None);
+    }
+
+    #[test]
+    fn bulk_load_spreads_and_round_trips_hash_scheme() {
+        let mut idx = sharded(Partitioner::hash(4));
+        idx.bulk_load(&entries(8_000));
+        assert_eq!(idx.len(), 8_000);
+        assert!(idx.per_shard_lens().iter().all(|&l| l >= 1_000));
+        for i in (0..8_000).step_by(97) {
+            assert_eq!(idx.get(i * 7), Some(i));
+        }
+    }
+
+    #[test]
+    fn point_ops_route_consistently() {
+        let mut idx = sharded(Partitioner::range(8));
+        idx.bulk_load(&entries(4_000));
+        assert!(idx.insert(1, 111));
+        assert!(!idx.insert(1, 112));
+        assert_eq!(idx.get(1), Some(112));
+        assert!(idx.update(1, 113));
+        assert_eq!(idx.remove(1), Some(113));
+        assert!(!idx.update(1, 114), "update after remove must miss");
+        assert_eq!(idx.len(), 4_000);
+    }
+
+    #[test]
+    fn range_scan_stitches_across_shard_boundaries_in_order() {
+        for partitioner in [Partitioner::range(8), Partitioner::hash(8)] {
+            let mut idx = sharded(partitioner);
+            idx.bulk_load(&entries(8_000));
+            let mut out = Vec::new();
+            let got = idx.range(RangeSpec::new(3 * 7, 5_000), &mut out);
+            assert_eq!(got, 5_000);
+            assert_eq!(out.len(), 5_000);
+            assert_eq!(out[0].0, 21);
+            assert_eq!(out.last().unwrap().0, (3 + 4_999) * 7);
+            assert!(
+                out.windows(2).all(|w| w[0].0 < w[1].0),
+                "stitched scan must be in strictly ascending key order"
+            );
+        }
+    }
+
+    #[test]
+    fn range_scan_exhausts_the_tail() {
+        let mut idx = sharded(Partitioner::range(4));
+        idx.bulk_load(&entries(1_000));
+        let mut out = Vec::new();
+        // Ask for more than remains past the start key.
+        let got = idx.range(RangeSpec::new(995 * 7, 100), &mut out);
+        assert_eq!(got, 5);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn merged_reporting() {
+        let mut idx = sharded(Partitioner::range(4)).with_name("sharded(map,4)");
+        idx.bulk_load(&entries(2_000));
+        assert!(idx.memory_usage() >= 2_000 * 48);
+        let meta = idx.meta();
+        assert_eq!(meta.name, "sharded(map,4)");
+        assert!(meta.concurrent);
+        assert!(meta.supports_delete);
+        assert!(meta.supports_range);
+        assert!(!meta.learned);
+        assert_eq!(idx.num_shards(), 4);
+        assert_eq!(idx.partitioner().scheme(), "range");
+        // Stats merge across shards (MapBackend reports none — defaults).
+        assert_eq!(idx.stats().counters.inserts, 0);
+        idx.reset_stats();
+        assert_eq!(idx.last_insert_stats(), InsertStats::default());
+    }
+
+    #[test]
+    fn empty_sharded_index_behaves() {
+        let idx = sharded(Partitioner::range(4));
+        assert_eq!(idx.len(), 0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(5), None);
+        let mut out = Vec::new();
+        assert_eq!(idx.range(RangeSpec::new(0, 10), &mut out), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one backend per shard")]
+    fn mismatched_backend_count_panics() {
+        let _ = ShardedIndex::new(Partitioner::<u64>::range(4), vec![MapBackend::default()]);
+    }
+
+    #[test]
+    fn boxed_dyn_backends_work() {
+        // The gre-core Box forwarding impl in action: heterogeneous-capable
+        // dyn backends under one sharded store.
+        let partitioner = Partitioner::<u64>::hash(3);
+        let mut idx: ShardedIndex<u64, Box<dyn ConcurrentIndex<u64>>> =
+            ShardedIndex::from_factory(partitioner, |_| {
+                Box::new(MapBackend::default()) as Box<dyn ConcurrentIndex<u64>>
+            });
+        idx.bulk_load(&entries(1_000));
+        assert_eq!(idx.len(), 1_000);
+        assert!(idx.insert(1, 1));
+        assert_eq!(idx.get(1), Some(1));
+    }
+}

@@ -7,14 +7,18 @@
 //! * [`generate`] — builders that turn a dataset into a concrete operation
 //!   sequence (bulk-load set plus request stream).
 //! * [`zipf`] — the Zipfian request-key sampler used by the YCSB workloads.
+//! * [`batch`] — per-shard splitting of op streams for partitioned serving
+//!   layers (the `gre-shard` crate's batched request pipeline).
 //! * [`runner`] — single- and multi-threaded execution with throughput and
 //!   tail-latency measurement (1% latency sampling, as in §6.1).
 
+pub mod batch;
 pub mod generate;
 pub mod runner;
 pub mod spec;
 pub mod zipf;
 
+pub use batch::{route_key, split_ops_by_shard};
 pub use generate::WorkloadBuilder;
 pub use runner::{run_concurrent, run_single, LatencySummary, RunResult};
 pub use spec::{Op, OpKind, Workload, WriteRatio};
