@@ -2,25 +2,34 @@
 //! `sharded(backend, S)` while sweeping shard count × thread count ×
 //! backend on the paper's balanced workload.
 //!
-//! Two execution paths per configuration:
+//! Three execution paths per configuration:
 //!
 //! * `direct`  — client threads call the composite `ConcurrentIndex`
 //!   directly (`run_concurrent`), one routing decision per op.
-//! * `batched` — the same request stream split into `OpBatch`es and fed
-//!   through the `ShardPipeline` worker pool, amortizing routing and
-//!   hand-off over `BATCH` ops with per-shard FIFO execution.
+//! * `batched` — the same request stream split into `OpBatch`es and
+//!   submitted to the `ShardPipeline` worker pool one batch at a time
+//!   (submit, then wait), amortizing routing and hand-off over `BATCH` ops
+//!   with per-shard FIFO execution.
+//! * `session` — the same batches submitted through per-client `Session`s
+//!   that keep up to `INFLIGHT` batches in flight each, overlapping
+//!   submission with execution (the typed request/response client surface).
 //!
 //! `--shards N` caps the shard-count axis, `--threads T` the thread axis.
 
-use gre_bench::{registry, RunOpts};
+use gre_bench::registry::IndexBuilder;
+use gre_bench::RunOpts;
+use gre_core::ConcurrentIndex;
 use gre_datasets::Dataset;
-use gre_shard::{OpBatch, Partitioner, ShardPipeline};
+use gre_shard::{OpBatch, Session, ShardPipeline};
 use gre_workloads::{run_concurrent, Workload, WorkloadBuilder, WriteRatio};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Ops per submitted batch on the batched path.
+/// Ops per submitted batch on the batched and session paths.
 const BATCH: usize = 1024;
+
+/// In-flight batch window per client session.
+const INFLIGHT: usize = 8;
 
 fn main() {
     let opts = RunOpts::from_env();
@@ -49,7 +58,7 @@ fn main() {
     let builder = WorkloadBuilder::new(opts.seed);
     println!(
         "# Shard scalability (Mop/s), balanced workload; thread axis: {thread_points:?}; \
-         batched path uses {BATCH}-op batches"
+         batched/session paths use {BATCH}-op batches, sessions keep {INFLIGHT} in flight"
     );
     println!(
         "{:<10} {:<22} {:>6} {:<8}{}",
@@ -67,62 +76,112 @@ fn main() {
         let workload = builder.insert_workload(&ds.name(), &keys, WriteRatio::Balanced);
         for backend in &backends {
             for &shards in &shard_counts {
-                let name = registry::sharded_name(backend, &Partitioner::range(shards));
-                let mut direct = format!(
-                    "{:<10} {:<22} {:>6} {:<8}",
-                    ds.name(),
-                    name,
-                    shards,
-                    "direct"
-                );
-                let mut batched = format!(
-                    "{:<10} {:<22} {:>6} {:<8}",
-                    ds.name(),
-                    name,
-                    shards,
-                    "batched"
-                );
+                let spec = IndexBuilder::backend(backend)
+                    .expect("registry backend resolves")
+                    .shards(shards);
+                let name = spec.build_sharded().meta().name.to_string();
+                let mut rows = [
+                    (String::from("direct"), String::new()),
+                    (String::from("batched"), String::new()),
+                    (String::from("session"), String::new()),
+                ];
                 for &threads in &thread_points {
                     // Always the composite — even at 1 shard — so every row
                     // of the sweep measures the same structure and the
                     // shards=1 baseline includes the routing dispatch too.
-                    let mut index = registry::sharded_index(backend, Partitioner::range(shards))
-                        .expect("registry backend resolves");
+                    let mut index = spec.build_sharded();
                     let r = run_concurrent(&mut index, &workload, threads);
-                    direct.push_str(&format!(" {:>8.3}", r.throughput_mops()));
-                    batched.push_str(&format!(
-                        " {:>8.3}",
-                        run_batched(backend, shards, &workload, threads)
-                    ));
+                    rows[0]
+                        .1
+                        .push_str(&format!(" {:>8.3}", r.throughput_mops()));
+                    rows[1]
+                        .1
+                        .push_str(&format!(" {:>8.3}", run_batched(&spec, &workload, threads)));
+                    rows[2]
+                        .1
+                        .push_str(&format!(" {:>8.3}", run_session(&spec, &workload, threads)));
                 }
-                println!("{direct}");
-                println!("{batched}");
+                for (path, cells) in rows {
+                    println!(
+                        "{:<10} {:<22} {:>6} {:<8}{cells}",
+                        ds.name(),
+                        name,
+                        shards,
+                        path
+                    );
+                }
             }
         }
     }
 }
 
-/// Throughput of the batched pipeline path: bulk load a fresh sharded
-/// composite, then time the full op stream submitted as `BATCH`-op batches
-/// to a `workers`-thread pipeline.
-fn run_batched(backend: &str, shards: usize, workload: &Workload, workers: usize) -> f64 {
-    // A 1-shard pipeline still exercises the batch path (single queue).
-    let mut index = registry::sharded_index(backend, Partitioner::range(shards))
-        .expect("registry backend resolves");
-    gre_core::ConcurrentIndex::bulk_load(&mut index, &workload.bulk);
-    let pipeline = ShardPipeline::new(Arc::new(index), workers);
+/// Bulk load a fresh sharded composite and serve it from a pipeline.
+fn boot(
+    spec: &IndexBuilder,
+    workload: &Workload,
+    workers: usize,
+) -> ShardPipeline<Box<dyn ConcurrentIndex<u64>>> {
+    let mut index = spec.build_sharded();
+    ConcurrentIndex::bulk_load(&mut index, &workload.bulk);
+    ShardPipeline::new(Arc::new(index), workers)
+}
+
+/// Throughput of the batched pipeline path: one submitter, one batch in
+/// flight at a time (submit, then wait for its typed responses).
+fn run_batched(spec: &IndexBuilder, workload: &Workload, workers: usize) -> f64 {
+    let pipeline = boot(spec, workload, workers);
     let timer = Instant::now();
-    let tickets: Vec<_> = workload
-        .ops
-        .chunks(BATCH)
-        .map(|chunk| pipeline.submit(OpBatch::new(chunk.to_vec())))
-        .collect();
     let mut executed = 0usize;
-    for ticket in tickets {
-        executed += ticket.wait().ops;
+    for chunk in workload.ops.chunks(BATCH) {
+        executed += pipeline.submit(OpBatch::new(chunk.to_vec())).wait().len();
     }
     let elapsed = timer.elapsed().as_secs_f64();
     assert_eq!(executed, workload.ops.len(), "pipeline dropped operations");
+    if elapsed == 0.0 {
+        return 0.0;
+    }
+    executed as f64 / elapsed / 1e6
+}
+
+/// Throughput of the session-pipelined path: `clients` threads each keep up
+/// to `INFLIGHT` batches in flight through their own `Session`, consuming
+/// typed responses in FIFO order as they complete.
+fn run_session(spec: &IndexBuilder, workload: &Workload, clients: usize) -> f64 {
+    let clients = clients.max(1);
+    let pipeline = boot(spec, workload, clients);
+    let chunk_size = workload.ops.len().div_ceil(clients).max(1);
+    let timer = Instant::now();
+    let executed: usize = std::thread::scope(|s| {
+        let pipeline = &pipeline;
+        let handles: Vec<_> = workload
+            .ops
+            .chunks(chunk_size)
+            .map(|client_ops| {
+                s.spawn(move || {
+                    let mut session = Session::with_max_inflight(pipeline, INFLIGHT);
+                    let mut executed = 0usize;
+                    for chunk in client_ops.chunks(BATCH) {
+                        session.submit(OpBatch::new(chunk.to_vec()));
+                        // Consume whatever has already completed, without
+                        // blocking the submission stream.
+                        while let Some(responses) = session.try_recv() {
+                            executed += responses.len();
+                        }
+                    }
+                    for responses in session.drain() {
+                        executed += responses.len();
+                    }
+                    executed
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .sum()
+    });
+    let elapsed = timer.elapsed().as_secs_f64();
+    assert_eq!(executed, workload.ops.len(), "session dropped operations");
     if elapsed == 0.0 {
         return 0.0;
     }

@@ -1,27 +1,32 @@
 //! Index registries: every evaluated index behind a uniform constructor so
 //! the per-figure binaries can iterate over them.
 //!
-//! Two layers:
+//! Three layers:
 //!
+//! * The **typed builder** ([`IndexBuilder`]) is the canonical configuration
+//!   surface: `IndexBuilder::backend("alex+")?.shards(8)
+//!   .partitioner(Scheme::Hash).build()` resolves a backend by name and
+//!   wraps it in the `gre-shard` serving layer. Everything else is sugar
+//!   over it.
+//! * The **string layer** ([`concurrent_backend`], [`backend`],
+//!   [`sharded_index`], [`IndexBuilder::parse`]) is a thin CLI parser on
+//!   top of the builder, for binaries and scripts that take index specs as
+//!   text (`"alex+"`, `"alex+:8"`, `"alex+:8:hash"`).
 //! * The **list registries** ([`single_thread_indexes`],
 //!   [`concurrent_indexes`], [`sharded_concurrent_indexes`]) return fresh
 //!   instances of whole index families for figure sweeps.
-//! * The **string-keyed factory** ([`concurrent_backend`], [`backend`],
-//!   [`sharded_index`]) resolves a backend by name — `backend("alex+", 8)`
-//!   yields ALEX+ behind an 8-shard range-partitioned serving layer — so
-//!   binaries and external callers can request any (backend × shards)
-//!   combination without naming concrete types.
 
 use gre_core::{ConcurrentIndex, Index};
 use gre_learned::{
     Alex, AlexConfig, AlexPlus, DynamicPgm, Finedex, Lipp, LippPlus, LockGranularity, XIndex,
 };
-use gre_shard::{Partitioner, ShardedIndex};
+use gre_shard::{Partitioner, Scheme, ShardedIndex};
 use gre_traditional::{
     art_olc, btree_olc, hot_rowex, masstree_concurrent, wormhole_concurrent, Art, BPlusTree, Hot,
     Masstree, Wormhole,
 };
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Mutex;
 
 /// Whether an index is learned or traditional (heatmap colouring).
@@ -112,39 +117,192 @@ pub fn single_thread_indexes() -> Vec<SingleEntry> {
 /// Constructor of a boxed concurrent backend.
 type BackendCtor = fn() -> Box<dyn ConcurrentIndex<u64>>;
 
-/// Resolve a backend name to its canonical display name and constructor
-/// without building an instance (name validation and display formatting
-/// must stay allocation-free on hot factory paths).
-fn resolve_backend(name: &str) -> Option<(&'static str, BackendCtor)> {
-    let canon: String = name
-        .chars()
-        .filter(|c| c.is_ascii_alphanumeric() || *c == '+')
-        .collect::<String>()
-        .to_ascii_lowercase();
-    Some(match canon.as_str() {
-        "alex+" | "alexplus" => ("ALEX+", || {
-            Box::new(AlexPlus::<u64>::with_config(
-                AlexConfig::default(),
-                LockGranularity::PerNode,
-            ))
-        }),
-        "lipp+" | "lippplus" => ("LIPP+", || Box::new(LippPlus::<u64>::new())),
-        "xindex" => ("XIndex", || Box::new(XIndex::<u64>::new())),
-        "finedex" => ("FINEdex", || Box::new(Finedex::<u64>::new())),
-        "artolc" => ("ART-OLC", || Box::new(art_olc::<u64>())),
-        "b+treeolc" | "btreeolc" => ("B+treeOLC", || Box::new(btree_olc::<u64>())),
-        "hotrowex" => ("HOT-ROWEX", || Box::new(hot_rowex::<u64>())),
-        "masstree" => ("Masstree", || Box::new(masstree_concurrent::<u64>())),
-        "wormhole" => ("Wormhole", || Box::new(wormhole_concurrent::<u64>())),
-        _ => return None,
-    })
+/// The requested backend name did not resolve against the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBackend(pub String);
+
+impl fmt::Display for UnknownBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown index backend: {:?}", self.0)
+    }
 }
 
-/// Resolve a concurrent backend by name (case-insensitive; `+`, `-` and
-/// spaces are cosmetic: `"alex+"`, `"ALEX+"` and `"alexplus"` all resolve
-/// to ALEX+). Returns `None` for unknown names.
+impl std::error::Error for UnknownBackend {}
+
+/// Typed configuration surface for serving-layer indexes.
+///
+/// A builder resolves a backend family by name, then layers serving options
+/// on top before constructing instances:
+///
+/// ```
+/// use gre_bench::registry::IndexBuilder;
+/// use gre_shard::Scheme;
+///
+/// # fn main() -> Result<(), gre_bench::registry::UnknownBackend> {
+/// let index = IndexBuilder::backend("alex+")?
+///     .shards(8)
+///     .partitioner(Scheme::Hash)
+///     .build();
+/// assert_eq!(index.meta().name, "sharded(ALEX+,8,hash)");
+/// # Ok(())
+/// # }
+/// ```
+///
+/// The builder is `Clone + Copy`-free but cheap; call
+/// [`build`](IndexBuilder::build) repeatedly to mint fresh instances of the
+/// same configuration.
+#[derive(Debug, Clone)]
+pub struct IndexBuilder {
+    canonical: &'static str,
+    kind: IndexKind,
+    ctor: BackendCtor,
+    shards: usize,
+    scheme: Scheme,
+}
+
+impl IndexBuilder {
+    /// Start a builder for the named backend (case-insensitive; `+`, `-`
+    /// and spaces are cosmetic: `"alex+"`, `"ALEX+"` and `"alexplus"` all
+    /// resolve to ALEX+).
+    pub fn backend(name: &str) -> Result<IndexBuilder, UnknownBackend> {
+        let canon: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric() || *c == '+')
+            .collect::<String>()
+            .to_ascii_lowercase();
+        let (canonical, kind, ctor): (&'static str, IndexKind, BackendCtor) = match canon.as_str() {
+            "alex+" | "alexplus" => ("ALEX+", IndexKind::Learned, || {
+                Box::new(AlexPlus::<u64>::with_config(
+                    AlexConfig::default(),
+                    LockGranularity::PerNode,
+                ))
+            }),
+            "lipp+" | "lippplus" => ("LIPP+", IndexKind::Learned, || {
+                Box::new(LippPlus::<u64>::new())
+            }),
+            "xindex" => ("XIndex", IndexKind::Learned, || {
+                Box::new(XIndex::<u64>::new())
+            }),
+            "finedex" => ("FINEdex", IndexKind::Learned, || {
+                Box::new(Finedex::<u64>::new())
+            }),
+            "artolc" => ("ART-OLC", IndexKind::Traditional, || {
+                Box::new(art_olc::<u64>())
+            }),
+            "b+treeolc" | "btreeolc" => ("B+treeOLC", IndexKind::Traditional, || {
+                Box::new(btree_olc::<u64>())
+            }),
+            "hotrowex" => ("HOT-ROWEX", IndexKind::Traditional, || {
+                Box::new(hot_rowex::<u64>())
+            }),
+            "masstree" => ("Masstree", IndexKind::Traditional, || {
+                Box::new(masstree_concurrent::<u64>())
+            }),
+            "wormhole" => ("Wormhole", IndexKind::Traditional, || {
+                Box::new(wormhole_concurrent::<u64>())
+            }),
+            _ => return Err(UnknownBackend(name.to_string())),
+        };
+        Ok(IndexBuilder {
+            canonical,
+            kind,
+            ctor,
+            shards: 1,
+            scheme: Scheme::Range,
+        })
+    }
+
+    /// Parse a textual index spec: `"backend"`, `"backend:shards"` or
+    /// `"backend:shards:scheme"` (e.g. `"alex+:8:hash"`). This is the CLI
+    /// form of the builder; flags parse into the same struct.
+    pub fn parse(spec: &str) -> Result<IndexBuilder, UnknownBackend> {
+        let mut parts = spec.splitn(3, ':');
+        let name = parts.next().unwrap_or_default();
+        let mut builder = IndexBuilder::backend(name)?;
+        if let Some(shards) = parts.next() {
+            let shards = shards
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| UnknownBackend(spec.to_string()))?;
+            builder = builder.shards(shards);
+        }
+        if let Some(scheme) = parts.next() {
+            let scheme = Scheme::parse(scheme).ok_or_else(|| UnknownBackend(spec.to_string()))?;
+            builder = builder.partitioner(scheme);
+        }
+        Ok(builder)
+    }
+
+    /// Serve the backend behind `n` shards (clamped to at least 1; `1`
+    /// means the bare backend from [`build`](IndexBuilder::build)).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Partitioning scheme for the sharded serving layer (default
+    /// [`Scheme::Range`]).
+    pub fn partitioner(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// The canonical backend name (`"ALEX+"`, `"B+treeOLC"`, …).
+    pub fn backend_name(&self) -> &'static str {
+        self.canonical
+    }
+
+    /// Whether the configured backend is learned or traditional.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Configured shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Configured partitioning scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The display name this configuration reports through `meta()`:
+    /// the bare backend name for 1 shard, `sharded(NAME,N)` /
+    /// `sharded(NAME,N,hash)` otherwise.
+    pub fn display_name(&self) -> String {
+        if self.shards <= 1 {
+            self.canonical.to_string()
+        } else {
+            sharded_name(self.canonical, &self.scheme.partitioner::<u64>(self.shards))
+        }
+    }
+
+    /// Build the configured index: the bare backend for `shards == 1`, the
+    /// sharded composite otherwise.
+    pub fn build(&self) -> Box<dyn ConcurrentIndex<u64>> {
+        if self.shards <= 1 {
+            (self.ctor)()
+        } else {
+            Box::new(self.build_sharded())
+        }
+    }
+
+    /// Build the sharded composite regardless of shard count (a 1-shard
+    /// composite still exercises the routing layer). Use this when the
+    /// concrete [`ShardedIndex`] type is needed — e.g. to construct a
+    /// `ShardPipeline` or `Session` on top.
+    pub fn build_sharded(&self) -> ShardedIndex<u64, Box<dyn ConcurrentIndex<u64>>> {
+        let partitioner = self.scheme.partitioner::<u64>(self.shards);
+        let display = sharded_name(self.canonical, &partitioner);
+        ShardedIndex::from_factory(partitioner, |_| (self.ctor)()).with_name(intern(display))
+    }
+}
+
+/// Resolve a concurrent backend by name. Returns `None` for unknown names.
+/// (String sugar over [`IndexBuilder::backend`].)
 pub fn concurrent_backend(name: &str) -> Option<Box<dyn ConcurrentIndex<u64>>> {
-    resolve_backend(name).map(|(_, build)| build())
+    IndexBuilder::backend(name).ok().map(|b| b.build())
 }
 
 /// Build a [`ShardedIndex`] of `partitioner.shards()` instances of the named
@@ -154,9 +312,9 @@ pub fn sharded_index(
     name: &str,
     partitioner: Partitioner<u64>,
 ) -> Option<ShardedIndex<u64, Box<dyn ConcurrentIndex<u64>>>> {
-    let (canonical, build) = resolve_backend(name)?;
-    let display = sharded_name(canonical, &partitioner);
-    Some(ShardedIndex::from_factory(partitioner, |_| build()).with_name(intern(display)))
+    let builder = IndexBuilder::backend(name).ok()?;
+    let display = sharded_name(builder.canonical, &partitioner);
+    Some(ShardedIndex::from_factory(partitioner, |_| (builder.ctor)()).with_name(intern(display)))
 }
 
 /// The display name of a sharded composite, e.g. `sharded(ALEX+,8)`.
@@ -173,16 +331,13 @@ pub fn sharded_name(backend: &str, partitioner: &Partitioner<u64>) -> String {
 }
 
 /// The string-keyed factory: the named backend behind `shards` range
-/// partitions (`shards <= 1` returns the bare backend). This is the single
-/// entry point every figure binary can use to run a `sharded(X)` variant of
-/// any evaluated index.
+/// partitions (`shards <= 1` returns the bare backend). String sugar over
+/// [`IndexBuilder`]; binaries taking `backend:shards:scheme` specs should
+/// prefer [`IndexBuilder::parse`].
 pub fn backend(name: &str, shards: usize) -> Option<Box<dyn ConcurrentIndex<u64>>> {
-    if shards <= 1 {
-        concurrent_backend(name)
-    } else {
-        sharded_index(name, Partitioner::range(shards))
-            .map(|idx| Box::new(idx) as Box<dyn ConcurrentIndex<u64>>)
-    }
+    IndexBuilder::backend(name)
+        .ok()
+        .map(|b| b.shards(shards).build())
 }
 
 /// Intern a computed index name: `IndexMeta::name` is `&'static str` (every
@@ -221,11 +376,13 @@ pub fn sharded_concurrent_indexes(shards: usize) -> Vec<ConcurrentEntry> {
     CONCURRENT_BACKENDS
         .iter()
         .map(|&(name, kind)| {
-            let index = backend(name, shards).expect("registry name resolves");
+            let builder = IndexBuilder::backend(name)
+                .expect("registry name resolves")
+                .shards(shards);
             ConcurrentEntry {
-                name: index.meta().name.to_string(),
+                name: builder.display_name(),
                 kind,
-                index,
+                index: builder.build(),
             }
         })
         .collect()
@@ -272,29 +429,82 @@ mod tests {
             assert_eq!(e.index.get(6), Some(1), "{}", e.name);
             e.index.insert(2, 22);
             assert_eq!(e.index.get(2), Some(22), "{}", e.name);
+            // update is now a required, atomic operation on every backend.
+            assert!(e.index.update(2, 23), "{}", e.name);
+            assert_eq!(e.index.get(2), Some(23), "{}", e.name);
+            assert!(!e.index.update(3, 1), "{}: absent key must miss", e.name);
+            assert_eq!(e.index.get(3), None, "{}: update must not insert", e.name);
         }
     }
 
     #[test]
-    fn factory_resolves_names_case_and_punctuation_insensitively() {
+    fn builder_resolves_names_case_and_punctuation_insensitively() {
         for spec in ["alex+", "ALEX+", "AlexPlus", "alex plus"] {
-            let b = concurrent_backend(spec).unwrap_or_else(|| panic!("{spec} must resolve"));
-            assert_eq!(b.meta().name, "ALEX+");
+            let b = IndexBuilder::backend(spec).unwrap_or_else(|_| panic!("{spec} must resolve"));
+            assert_eq!(b.backend_name(), "ALEX+");
+            assert_eq!(b.build().meta().name, "ALEX+");
         }
         assert_eq!(
-            concurrent_backend("b+tree-olc").unwrap().meta().name,
+            IndexBuilder::backend("b+tree-olc").unwrap().backend_name(),
             "B+treeOLC"
         );
         assert_eq!(
-            concurrent_backend("hot-rowex").unwrap().meta().name,
+            IndexBuilder::backend("hot-rowex").unwrap().backend_name(),
             "HOT-ROWEX"
         );
+        let err = IndexBuilder::backend("no-such-index").unwrap_err();
+        assert!(err.to_string().contains("no-such-index"));
+        assert!(IndexBuilder::backend("").is_err());
+        // The string layer mirrors the builder.
         assert!(concurrent_backend("no-such-index").is_none());
-        assert!(concurrent_backend("").is_none());
+        assert_eq!(
+            concurrent_backend("wormhole").unwrap().meta().name,
+            "Wormhole"
+        );
     }
 
     #[test]
-    fn factory_builds_sharded_composites() {
+    fn builder_composes_shards_and_scheme() {
+        let b = IndexBuilder::backend("lipp+").unwrap().shards(4);
+        assert_eq!(b.shard_count(), 4);
+        assert_eq!(b.scheme(), Scheme::Range);
+        assert_eq!(b.display_name(), "sharded(LIPP+,4)");
+        assert_eq!(b.build().meta().name, "sharded(LIPP+,4)");
+
+        let b = IndexBuilder::backend("xindex")
+            .unwrap()
+            .shards(2)
+            .partitioner(Scheme::Hash);
+        assert_eq!(b.display_name(), "sharded(XIndex,2,hash)");
+        assert_eq!(b.build().meta().name, "sharded(XIndex,2,hash)");
+
+        // shards <= 1 builds the bare backend…
+        let b = IndexBuilder::backend("lipp+").unwrap().shards(1);
+        assert_eq!(b.build().meta().name, "LIPP+");
+        assert_eq!(b.shards(0).shard_count(), 1);
+        // …but build_sharded still yields the routing composite.
+        let composite = IndexBuilder::backend("lipp+").unwrap().build_sharded();
+        assert_eq!(composite.num_shards(), 1);
+        assert_eq!(composite.meta().name, "sharded(LIPP+,1)");
+    }
+
+    #[test]
+    fn spec_strings_parse_into_builders() {
+        let b = IndexBuilder::parse("alex+").unwrap();
+        assert_eq!(b.shard_count(), 1);
+        let b = IndexBuilder::parse("alex+:8").unwrap();
+        assert_eq!((b.backend_name(), b.shard_count()), ("ALEX+", 8));
+        assert_eq!(b.scheme(), Scheme::Range);
+        let b = IndexBuilder::parse("b+treeolc:4:hash").unwrap();
+        assert_eq!(b.backend_name(), "B+treeOLC");
+        assert_eq!((b.shard_count(), b.scheme()), (4, Scheme::Hash));
+        assert!(IndexBuilder::parse("alex+:eight").is_err());
+        assert!(IndexBuilder::parse("alex+:8:spiral").is_err());
+        assert!(IndexBuilder::parse("nope:8").is_err());
+    }
+
+    #[test]
+    fn string_factory_builds_sharded_composites() {
         let idx = backend("lipp+", 4).expect("sharded lipp+");
         assert_eq!(idx.meta().name, "sharded(LIPP+,4)");
         assert!(idx.meta().concurrent);

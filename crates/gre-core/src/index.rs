@@ -27,19 +27,45 @@ pub struct IndexMeta {
     pub supports_range: bool,
 }
 
-/// A range scan request: fetch up to `count` entries with keys `>= start`.
+/// A range scan request: fetch up to `count` entries with keys `>= start`
+/// (and `<= end`, when an inclusive end bound is set).
 ///
-/// This matches the paper's range-query experiment (§6.3): "Each query picks a
-/// random start key K and fetches a fixed number of keys starting from K."
+/// The count-limited form matches the paper's range-query experiment (§6.3):
+/// "Each query picks a random start key K and fetches a fixed number of keys
+/// starting from K." The optional [`end`](RangeSpec::end) bound serves the
+/// serving-layer API, where clients scan key windows rather than fixed key
+/// counts; [`RangeSpec::bounded`] sets it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RangeSpec<K> {
     pub start: K,
     pub count: usize,
+    /// Inclusive upper key bound. `None` means count-limited only.
+    pub end: Option<K>,
 }
 
 impl<K: Key> RangeSpec<K> {
+    /// Count-limited scan: up to `count` entries with keys `>= start`.
     pub fn new(start: K, count: usize) -> Self {
-        RangeSpec { start, count }
+        RangeSpec {
+            start,
+            count,
+            end: None,
+        }
+    }
+
+    /// Bounded scan: up to `count` entries with keys in `[start, end]`.
+    pub fn bounded(start: K, end: K, count: usize) -> Self {
+        RangeSpec {
+            start,
+            count,
+            end: Some(end),
+        }
+    }
+
+    /// Whether `key` falls inside this spec's key window.
+    #[inline]
+    pub fn admits(&self, key: K) -> bool {
+        key >= self.start && self.end.map_or(true, |e| key <= e)
     }
 }
 
@@ -122,26 +148,18 @@ pub trait ConcurrentIndex<K: Key>: Send + Sync {
     ///
     /// # Atomicity contract
     ///
-    /// A conforming implementation must make the presence check and the
-    /// payload write appear as **one** atomic step with respect to other
-    /// operations on the same key: a concurrent `update`/`insert`/`remove`
-    /// of that key may be ordered before or after it, but never in between.
+    /// An implementation must make the presence check and the payload write
+    /// appear as **one** atomic step with respect to other operations on the
+    /// same key: a concurrent `update`/`insert`/`remove` of that key may be
+    /// ordered before or after it, but never in between.
     ///
-    /// The provided default does **not** meet the contract — its
-    /// `get`-then-`insert` spans two critical sections, so a racing `remove`
-    /// can slip in between (resurrecting the key) and a racing `update` can
-    /// be lost. It exists only as a convenience for backends whose callers
-    /// never mix updates with deletes; every backend that serves mixed write
-    /// traffic must override it with a single-critical-section version (see
-    /// [`MutexIndex`] for the minimal correct shape).
-    fn update(&self, key: K, value: Payload) -> bool {
-        if self.get(key).is_some() {
-            self.insert(key, value);
-            true
-        } else {
-            false
-        }
-    }
+    /// This method is deliberately **required** (no provided default): the
+    /// obvious `get`-then-`insert` composition spans two critical sections,
+    /// so a racing `remove` can slip in between (resurrecting the key) and a
+    /// racing `update` can be lost. Every backend must implement a
+    /// single-critical-section version — see [`MutexIndex`] for the minimal
+    /// correct shape.
+    fn update(&self, key: K, value: Payload) -> bool;
 
     /// Remove a key.
     fn remove(&self, key: K) -> Option<Payload>;
@@ -383,6 +401,7 @@ mod tests {
             out.extend(
                 self.map
                     .range(spec.start..)
+                    .take_while(|(k, _)| spec.end.map_or(true, |e| **k <= e))
                     .take(spec.count)
                     .map(|(k, v)| (*k, *v)),
             );
@@ -514,5 +533,31 @@ mod tests {
         let spec = RangeSpec::new(7u64, 3);
         assert_eq!(spec.start, 7);
         assert_eq!(spec.count, 3);
+        assert_eq!(spec.end, None);
+        assert!(spec.admits(7));
+        assert!(spec.admits(u64::MAX));
+        assert!(!spec.admits(6));
+    }
+
+    #[test]
+    fn bounded_range_spec_clips_at_the_end_key() {
+        let spec = RangeSpec::bounded(2u64, 6, 100);
+        assert_eq!(spec.end, Some(6));
+        assert!(spec.admits(2) && spec.admits(6));
+        assert!(!spec.admits(7));
+
+        let mut idx = ModelIndex::default();
+        idx.bulk_load(&[(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]);
+        let mut out = Vec::new();
+        // End bound clips before the count limit does.
+        assert_eq!(idx.range(spec, &mut out), 2);
+        assert_eq!(out, vec![(3, 30), (5, 50)]);
+        // Count still limits a wide window.
+        out.clear();
+        assert_eq!(idx.range(RangeSpec::bounded(0, 100, 2), &mut out), 2);
+        assert_eq!(out, vec![(1, 10), (3, 30)]);
+        // An inverted window yields nothing.
+        out.clear();
+        assert_eq!(idx.range(RangeSpec::bounded(8, 2, 10), &mut out), 0);
     }
 }

@@ -3,15 +3,19 @@
 //! Core building blocks shared by every index implementation and by the GRE
 //! benchmarking harness:
 //!
-//! * [`key`] — the [`Key`](key::Key) abstraction (ordered, copyable, convertible
+//! * [`key`] — the [`key::Key`] abstraction (ordered, copyable, convertible
 //!   to/from `f64` so linear models can be trained on it) and the canonical
 //!   `(key, payload)` entry type.
-//! * [`index`] — the [`Index`](index::Index) and
-//!   [`ConcurrentIndex`](index::ConcurrentIndex) traits every evaluated index
+//! * [`index`] — the [`index::Index`] and
+//!   [`index::ConcurrentIndex`] traits every evaluated index
 //!   implements, mirroring the operation set of the GRE benchmark
 //!   (bulk load, lookup, insert, remove, range scan, memory accounting).
 //! * [`stats`] — per-operation statistics used to reproduce the paper's
 //!   insert-time breakdown (Figure 3) and per-insert counters (Table 3).
+//! * [`ops`] — the canonical typed request/response vocabulary
+//!   ([`ops::Request`]/[`ops::Response`]) spoken by the
+//!   workload generators and the serving layers, with per-operation
+//!   capability gating ([`ops::IndexError`]).
 //! * [`sync`] — the optimistic versioned lock (OLC word) used by the
 //!   concurrent index variants (ALEX+, LIPP+, ART-OLC, B+TreeOLC).
 //! * [`error`] — the shared error type.
@@ -19,11 +23,13 @@
 pub mod error;
 pub mod index;
 pub mod key;
+pub mod ops;
 pub mod stats;
 pub mod sync;
 
 pub use error::{GreError, Result};
 pub use index::{ConcurrentIndex, Index, IndexMeta, RangeSpec};
 pub use key::{Entry, Key, Payload};
+pub use ops::{IndexError, Request, RequestKind, Response};
 pub use stats::{InsertBreakdown, InsertStats, OpCounters, StatsSnapshot};
 pub use sync::{OptLock, OptLockWriteGuard};

@@ -126,6 +126,15 @@ impl<K: Key> ConcurrentIndex<K> for AlexPlus<K> {
             .insert(key, value)
     }
 
+    /// Presence check and write happen under one partition write lock, so
+    /// the trait's single-critical-section atomicity contract holds.
+    fn update(&self, key: K, value: Payload) -> bool {
+        let _groups = self.record_group_guard(key);
+        self.partitions[self.partition_for(key)]
+            .write()
+            .update(key, value)
+    }
+
     fn remove(&self, key: K) -> Option<Payload> {
         let _groups = self.record_group_guard(key);
         self.partitions[self.partition_for(key)].write().remove(key)
@@ -260,6 +269,15 @@ impl<K: Key> ConcurrentIndex<K> for LippPlus<K> {
         self.partitions[self.partition_for(key)]
             .write()
             .insert(key, value)
+    }
+
+    /// Updates run under one partition write lock (single critical section);
+    /// they do not touch the shared path statistics — the paper charges only
+    /// structure-modifying inserts with the per-level statistics writes.
+    fn update(&self, key: K, value: Payload) -> bool {
+        self.partitions[self.partition_for(key)]
+            .write()
+            .update(key, value)
     }
 
     fn remove(&self, key: K) -> Option<Payload> {

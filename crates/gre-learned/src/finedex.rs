@@ -282,6 +282,32 @@ impl<K: Key> ConcurrentIndex<K> for Finedex<K> {
         }
     }
 
+    /// One group write lock covers the presence check and the payload write
+    /// (the trait's atomicity contract). Unlike `insert`, an absent (or
+    /// tombstoned) key is left absent.
+    fn update(&self, key: K, value: Payload) -> bool {
+        let idx = self.locate(key);
+        let mut group = self.groups[idx].write();
+        let error_bound = self.config.error_bound;
+        let pos = group.lower_bound(key, error_bound);
+        if pos < group.keys.len() && group.keys[pos] == key {
+            if group.dead[pos] {
+                return false;
+            }
+            group.values[pos] = value;
+            return true;
+        }
+        let bin = group.bin_for(key, error_bound);
+        let bin_vec = &mut group.bins[bin];
+        match bin_vec.binary_search_by_key(&key, |e| e.0) {
+            Ok(i) => {
+                bin_vec[i].1 = value;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     fn remove(&self, key: K) -> Option<Payload> {
         let idx = self.locate(key);
         let mut group = self.groups[idx].write();

@@ -272,6 +272,28 @@ impl<K: Key> ConcurrentIndex<K> for XIndex<K> {
         !existed
     }
 
+    /// One group write lock covers the presence check and the payload write
+    /// (the trait's atomicity contract). Unlike `insert`, an absent key is
+    /// left absent.
+    fn update(&self, key: K, value: Payload) -> bool {
+        let idx = self.locate(key);
+        let mut group = self.groups[idx].write();
+        if let Some(slot) = group.delta.get_mut(&key) {
+            *slot = value;
+            return true;
+        }
+        if group.deleted.contains_key(&key) {
+            return false;
+        }
+        let pos = group.main_lower_bound(key, self.config.error_bound);
+        if pos < group.keys.len() && group.keys[pos] == key {
+            group.values[pos] = value;
+            true
+        } else {
+            false
+        }
+    }
+
     fn remove(&self, key: K) -> Option<Payload> {
         let idx = self.locate(key);
         let mut group = self.groups[idx].write();

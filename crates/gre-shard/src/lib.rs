@@ -27,12 +27,19 @@
 //! * [`pipeline`] — [`ShardPipeline`], the batched request path:
 //!   [`OpBatch`]es are split into per-shard sub-batches (amortizing routing
 //!   over many ops) and executed on a fixed worker pool with per-shard FIFO
-//!   order.
+//!   order. Every operation is answered with a typed
+//!   [`Response`](gre_core::Response) delivered through a non-blocking
+//!   [`SubmitHandle`]; [`Session`] pipelines many in-flight batches per
+//!   client with FIFO completion, and bounded shard queues reject overload
+//!   with [`Backpressure`] instead of queueing without limit.
 
 pub mod partition;
 pub mod pipeline;
 pub mod sharded;
 
-pub use partition::{HashPartitioner, Partitioner, RangePartitioner};
-pub use pipeline::{BatchResult, BatchTicket, OpBatch, ShardPipeline};
+pub use partition::{HashPartitioner, Partitioner, RangePartitioner, Scheme};
+pub use pipeline::{
+    Backpressure, BackpressureReason, BatchResult, OpBatch, Session, ShardPipeline, SubmitHandle,
+    DEFAULT_MAX_INFLIGHT, DEFAULT_QUEUE_CAPACITY,
+};
 pub use sharded::ShardedIndex;

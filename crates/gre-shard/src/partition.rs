@@ -18,6 +18,46 @@ use gre_core::Key;
 /// boundary fitting O(SAMPLE_LIMIT log SAMPLE_LIMIT) even for huge loads.
 pub const SAMPLE_LIMIT: usize = 4096;
 
+/// Partitioning scheme selector: the configuration-surface counterpart of
+/// [`Partitioner`] (which additionally carries fitted state). Used by typed
+/// builders — e.g. `IndexBuilder::backend("alex+")?.partitioner(Scheme::Hash)`
+/// in `gre-bench` — to pick a scheme before the shard count is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scheme {
+    /// Contiguous key ranges, boundaries fitted to the loaded key CDF.
+    #[default]
+    Range,
+    /// splitmix64 hash of the key: access-skew resistant, fan-out scans.
+    Hash,
+}
+
+impl Scheme {
+    /// Instantiate a partitioner of this scheme over `shards` shards.
+    pub fn partitioner<K: Key>(self, shards: usize) -> Partitioner<K> {
+        match self {
+            Scheme::Range => Partitioner::range(shards),
+            Scheme::Hash => Partitioner::hash(shards),
+        }
+    }
+
+    /// Scheme name as used in display names and CLI specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Range => "range",
+            Scheme::Hash => "hash",
+        }
+    }
+
+    /// Parse a scheme name (the inverse of [`Scheme::name`]).
+    pub fn parse(s: &str) -> Option<Scheme> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "range" => Some(Scheme::Range),
+            "hash" => Some(Scheme::Hash),
+            _ => None,
+        }
+    }
+}
+
 /// A `key -> shard` map over a fixed number of shards.
 #[derive(Debug, Clone)]
 pub enum Partitioner<K: Key> {
@@ -279,5 +319,19 @@ mod tests {
     fn zero_shards_clamps_to_one() {
         assert_eq!(Partitioner::<u64>::range(0).shards(), 1);
         assert_eq!(Partitioner::<u64>::hash(0).shards(), 1);
+    }
+
+    #[test]
+    fn scheme_round_trips_names_and_builds_partitioners() {
+        assert_eq!(Scheme::default(), Scheme::Range);
+        for scheme in [Scheme::Range, Scheme::Hash] {
+            assert_eq!(Scheme::parse(scheme.name()), Some(scheme));
+            let p: Partitioner<u64> = scheme.partitioner(4);
+            assert_eq!(p.shards(), 4);
+            assert_eq!(p.scheme(), scheme.name());
+            assert_eq!(p.is_ordered(), scheme == Scheme::Range);
+        }
+        assert_eq!(Scheme::parse("HASH"), Some(Scheme::Hash));
+        assert_eq!(Scheme::parse("nope"), None);
     }
 }

@@ -1,5 +1,5 @@
-//! The batched request pipeline: `OpBatch` → per-shard sub-batches executed
-//! on a fixed worker pool.
+//! The batched request pipeline: [`OpBatch`] → per-shard sub-batches executed
+//! on a fixed worker pool, with **typed per-operation results**.
 //!
 //! Callers hand the pipeline whole batches of operations instead of issuing
 //! them one by one; the pipeline routes each batch into per-shard sub-batches
@@ -11,19 +11,44 @@
 //! different shards from the same batch may run concurrently — exactly the
 //! freedom a partitioned store is allowed to exploit.
 //!
+//! The client surface is built from three pieces:
+//!
+//! * [`ShardPipeline::try_submit`] enqueues a batch without blocking. Every
+//!   shard queue is **bounded**; a full queue rejects the whole batch with
+//!   [`Backpressure`] (returning it to the caller) rather than queueing
+//!   unboundedly. [`ShardPipeline::submit`] is the blocking form that waits
+//!   for capacity.
+//! * [`SubmitHandle`] is the per-batch completion handle. Workers fill one
+//!   [`Response`] slot per operation, **in submission order** (slot `i`
+//!   answers `batch.ops[i]`); the handle exposes the non-blocking
+//!   [`try_take`](SubmitHandle::try_take) / [`is_ready`](SubmitHandle::is_ready)
+//!   and the bounded [`wait_timeout`](SubmitHandle::wait_timeout) — no async
+//!   runtime, just a mutex/condvar pair per batch.
+//! * [`Session`] pipelines many in-flight batches for one client and hands
+//!   results back in FIFO submission order, so a client can keep the worker
+//!   pool busy without ever blocking on an individual batch.
+//!
 //! Point operations go straight to the owning shard's backend (the routing
 //! already picked it, so the composite's dispatch is skipped); range scans
 //! run through the full [`ShardedIndex`] so cross-shard stitching applies.
+//! Operations a backend cannot serve (deletes or scans with the capability
+//! flag off) answer [`Response::Error`] instead of silently no-opping.
 
 use crate::sharded::ShardedIndex;
-use gre_core::{ConcurrentIndex, Payload, RangeSpec};
-use gre_workloads::{split_ops_by_shard, Op};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use gre_core::{ConcurrentIndex, IndexMeta, Response};
+use gre_workloads::{split_indexed_ops_by_shard, Op};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default bound on each shard's queue, in sub-batches.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
 /// A batch of operations submitted to the pipeline as one unit.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OpBatch {
     pub ops: Vec<Op>,
 }
@@ -42,7 +67,9 @@ impl OpBatch {
     }
 }
 
-/// Aggregated outcome of one executed batch (or sub-batch).
+/// Aggregated outcome of one executed batch: the counter view over a slice
+/// of per-op [`Response`]s, kept for throughput reporting and as the
+/// migration target of the old merged-counters API.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BatchResult {
     /// Operations executed.
@@ -57,78 +84,282 @@ pub struct BatchResult {
     pub updated: usize,
     /// Removes that found their key.
     pub removed: usize,
+    /// Operations rejected as unsupported by the serving backend.
+    pub errors: usize,
 }
 
 impl BatchResult {
-    fn merge(&mut self, other: &BatchResult) {
-        self.ops += other.ops;
-        self.hits += other.hits;
-        self.scanned_keys += other.scanned_keys;
-        self.new_keys += other.new_keys;
-        self.updated += other.updated;
-        self.removed += other.removed;
+    /// Summarize a batch's per-op responses into merged counters.
+    pub fn from_responses(responses: &[Response<u64>]) -> Self {
+        let mut r = BatchResult {
+            ops: responses.len(),
+            ..Default::default()
+        };
+        for resp in responses {
+            match resp {
+                Response::Get(found) => r.hits += usize::from(found.is_some()),
+                Response::Insert(new) => r.new_keys += usize::from(*new),
+                Response::Update(hit) => r.updated += usize::from(*hit),
+                Response::Remove(removed) => r.removed += usize::from(removed.is_some()),
+                Response::Range(entries) => r.scanned_keys += entries.len(),
+                Response::Error(_) => r.errors += 1,
+            }
+        }
+        r
+    }
+}
+
+/// A batch was rejected without being enqueued (rejection is
+/// all-or-nothing). Carries the rejected batch back to the caller for retry
+/// plus the typed [`reason`](Backpressure::reason) for the rejection.
+#[derive(Debug)]
+pub struct Backpressure {
+    /// The rejected batch, returned for retry.
+    pub batch: OpBatch,
+    /// What was saturated.
+    pub reason: BackpressureReason,
+}
+
+/// Why a non-blocking submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressureReason {
+    /// A pipeline shard's bounded queue was at capacity.
+    QueueFull {
+        /// The saturated shard.
+        shard: usize,
+    },
+    /// The submitting [`Session`]'s in-flight window was full.
+    WindowFull,
+}
+
+impl std::fmt::Display for Backpressure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            BackpressureReason::QueueFull { shard } => write!(
+                f,
+                "shard {shard} queue full; batch of {} ops rejected",
+                self.batch.len()
+            ),
+            BackpressureReason::WindowFull => write!(
+                f,
+                "session in-flight window full; batch of {} ops rejected",
+                self.batch.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Backpressure {}
+
+/// Completion state shared between one batch's submitter and the workers
+/// executing its sub-batches.
+struct BatchShared {
+    state: Mutex<BatchState>,
+    ready: Condvar,
+}
+
+struct BatchState {
+    /// One slot per submitted op, indexed by submission position.
+    slots: Vec<Option<Response<u64>>>,
+    /// Sub-batches still executing.
+    pending: usize,
+    /// Results already handed to the client.
+    taken: bool,
+}
+
+impl BatchShared {
+    fn new(ops: usize, pending: usize) -> Self {
+        BatchShared {
+            state: Mutex::new(BatchState {
+                slots: (0..ops).map(|_| None).collect(),
+                pending,
+                taken: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// Handle to an in-flight batch: per-op [`Response`] slots filled by the
+/// workers in submission order (slot `i` answers op `i` of the batch).
+///
+/// The handle never blocks unless asked to: poll with
+/// [`is_ready`](SubmitHandle::is_ready) / [`try_take`](SubmitHandle::try_take),
+/// bound the wait with [`wait_timeout`](SubmitHandle::wait_timeout), or give
+/// up the non-blocking property explicitly with [`wait`](SubmitHandle::wait).
+/// Dropping the handle is allowed at any time; the batch still executes
+/// (fire-and-forget).
+pub struct SubmitHandle {
+    shared: Arc<BatchShared>,
+    ops: usize,
+}
+
+impl SubmitHandle {
+    /// Number of operations in the batch this handle tracks.
+    pub fn len(&self) -> usize {
+        self.ops
+    }
+
+    /// Whether the tracked batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops == 0
+    }
+
+    /// Whether every operation of the batch has a result (non-blocking
+    /// beyond an uncontended mutex).
+    pub fn is_ready(&self) -> bool {
+        self.shared.state.lock().expect("pipeline poisoned").pending == 0
+    }
+
+    /// Take the per-op responses if the batch has completed; `None` if it is
+    /// still executing or the results were already taken.
+    pub fn try_take(&mut self) -> Option<Vec<Response<u64>>> {
+        let mut state = self.shared.state.lock().expect("pipeline poisoned");
+        Self::take_locked(&mut state)
+    }
+
+    /// Wait up to `timeout` for completion; returns the responses on
+    /// completion, `None` on timeout (or if already taken).
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Vec<Response<u64>>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("pipeline poisoned");
+        while state.pending > 0 {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (next, _) = self
+                .shared
+                .ready
+                .wait_timeout(state, remaining)
+                .expect("pipeline poisoned");
+            state = next;
+        }
+        Self::take_locked(&mut state)
+    }
+
+    /// Block until the batch completes and return the per-op responses.
+    ///
+    /// # Panics
+    /// If the results were already taken via `try_take`/`wait_timeout`.
+    pub fn wait(self) -> Vec<Response<u64>> {
+        let mut state = self.shared.state.lock().expect("pipeline poisoned");
+        while state.pending > 0 {
+            state = self.shared.ready.wait(state).expect("pipeline poisoned");
+        }
+        Self::take_locked(&mut state).expect("batch results already taken")
+    }
+
+    fn take_locked(state: &mut BatchState) -> Option<Vec<Response<u64>>> {
+        if state.pending > 0 || state.taken {
+            return None;
+        }
+        state.taken = true;
+        Some(
+            std::mem::take(&mut state.slots)
+                .into_iter()
+                .map(|slot| slot.expect("completed batch has a response in every slot"))
+                .collect(),
+        )
     }
 }
 
 /// A per-shard unit of work queued to a worker.
 struct Job {
     shard: usize,
-    ops: Vec<Op>,
-    done: Sender<BatchResult>,
+    /// `(submission index, op)` pairs — the index addresses the result slot.
+    ops: Vec<(usize, Op)>,
+    shared: Arc<BatchShared>,
 }
 
-/// Handle to an in-flight batch; [`BatchTicket::wait`] blocks until every
-/// sub-batch has executed and returns the merged result.
-pub struct BatchTicket {
-    pending: usize,
-    rx: Receiver<BatchResult>,
-    /// Ops that were part of the batch (kept so `wait` can report totals
-    /// even for an all-empty split).
-    ops: usize,
+/// State shared by the pipeline handle and its workers for queue accounting.
+struct QueueGauge {
+    /// Sub-batches queued or executing, per shard.
+    depths: Vec<AtomicUsize>,
+    /// Blocking submitters currently parked on `freed`; workers skip the
+    /// notify lock entirely while this is zero (the common case).
+    waiters: AtomicUsize,
+    /// Capacity signal for blocking submitters.
+    lock: Mutex<()>,
+    freed: Condvar,
 }
 
-impl BatchTicket {
-    /// Block until the whole batch has executed; returns the merged result.
-    pub fn wait(self) -> BatchResult {
-        let mut merged = BatchResult::default();
-        for _ in 0..self.pending {
-            let part = self
-                .rx
-                .recv()
-                .expect("pipeline worker dropped a sub-batch result");
-            merged.merge(&part);
-        }
-        debug_assert_eq!(merged.ops, self.ops);
-        merged
-    }
-}
-
-/// A fixed worker pool executing batches against a shared [`ShardedIndex`].
+/// A fixed worker pool executing batches against a shared [`ShardedIndex`],
+/// answering every operation with a typed [`Response`].
 ///
 /// Dropping the pipeline shuts the workers down (they drain already-queued
-/// jobs first, so submitted work is never lost).
+/// jobs first, so submitted work is never lost and every outstanding
+/// [`SubmitHandle`] still completes).
 pub struct ShardPipeline<B: ConcurrentIndex<u64> + 'static> {
     index: Arc<ShardedIndex<u64, B>>,
     queues: Vec<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    gauge: Arc<QueueGauge>,
+    queue_capacity: usize,
 }
 
 impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
-    /// Spawn `workers` threads serving `index`. The worker count is clamped
-    /// to at least 1 and at most the shard count (extra workers would never
-    /// receive a shard assignment).
+    /// Spawn `workers` threads serving `index` with the default per-shard
+    /// queue bound. The worker count is clamped to at least 1 and at most
+    /// the shard count (extra workers would never receive a shard
+    /// assignment).
     pub fn new(index: Arc<ShardedIndex<u64, B>>, workers: usize) -> Self {
+        Self::with_queue_capacity(index, workers, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// Like [`ShardPipeline::new`] with an explicit per-shard queue bound
+    /// (in sub-batches; clamped to at least 1).
+    pub fn with_queue_capacity(
+        index: Arc<ShardedIndex<u64, B>>,
+        workers: usize,
+        queue_capacity: usize,
+    ) -> Self {
         let workers = workers.clamp(1, index.num_shards());
+        let gauge = Arc::new(QueueGauge {
+            depths: (0..index.num_shards())
+                .map(|_| AtomicUsize::new(0))
+                .collect(),
+            waiters: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            freed: Condvar::new(),
+        });
         let mut queues = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let (tx, rx) = channel::<Job>();
             let index = Arc::clone(&index);
+            let gauge = Arc::clone(&gauge);
             handles.push(std::thread::spawn(move || {
+                // Capability metadata is static per backend; resolve it once
+                // instead of per operation (composite meta takes locks).
+                let index_meta = index.meta();
+                let backend_metas: Vec<IndexMeta> = (0..index.num_shards())
+                    .map(|s| index.backend(s).meta())
+                    .collect();
                 while let Ok(job) = rx.recv() {
-                    let result = execute_sub_batch(&index, job.shard, &job.ops);
-                    // The submitter may have stopped waiting; that's fine.
-                    let _ = job.done.send(result);
+                    let responses =
+                        execute_sub_batch(&index, &backend_metas[job.shard], &index_meta, &job);
+                    {
+                        let mut state = job.shared.state.lock().expect("pipeline poisoned");
+                        for (slot, response) in responses {
+                            state.slots[slot] = Some(response);
+                        }
+                        state.pending -= 1;
+                        if state.pending == 0 {
+                            job.shared.ready.notify_all();
+                        }
+                    }
+                    gauge.depths[job.shard].fetch_sub(1, Ordering::SeqCst);
+                    // Wake blocking submitters — but only when someone is
+                    // actually parked: a waiter registers itself (SeqCst)
+                    // *before* its final capacity check, so either this load
+                    // sees it, or the waiter's check sees the freed slot.
+                    // Notifying under the lock closes the remaining window
+                    // between a waiter's failed check and its wait.
+                    if gauge.waiters.load(Ordering::SeqCst) > 0 {
+                        let _g = gauge.lock.lock().expect("pipeline poisoned");
+                        gauge.freed.notify_all();
+                    }
                 }
             }));
             queues.push(tx);
@@ -137,6 +368,8 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
             index,
             queues,
             workers: handles,
+            gauge,
+            queue_capacity: queue_capacity.max(1),
         }
     }
 
@@ -150,16 +383,45 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
         self.workers.len()
     }
 
-    /// Split `batch` into per-shard sub-batches and enqueue them. Returns a
-    /// ticket to wait on. Sub-batches of the same shard (across submissions)
+    /// Per-shard queue bound, in sub-batches.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Split `batch` into per-shard sub-batches and enqueue them without
+    /// blocking. Rejection is all-or-nothing: if any target shard's queue is
+    /// at capacity, nothing is enqueued and the batch comes back inside
+    /// [`Backpressure`]. Sub-batches of the same shard (across submissions)
     /// execute in submission order on the shard's pinned worker.
-    pub fn submit(&self, batch: OpBatch) -> BatchTicket {
+    pub fn try_submit(&self, batch: OpBatch) -> Result<SubmitHandle, Backpressure> {
         let shards = self.index.num_shards();
         let partitioner = self.index.partitioner();
         let ops = batch.ops.len();
-        let sub_batches = split_ops_by_shard(&batch.ops, shards, |k| partitioner.shard_of(k));
-        let (done_tx, done_rx) = channel();
-        let mut pending = 0usize;
+        let sub_batches =
+            split_indexed_ops_by_shard(&batch.ops, shards, |k| partitioner.shard_of(k));
+
+        // Reserve queue slots before enqueueing anything, so a rejected
+        // batch leaves no partial work behind.
+        let mut reserved: Vec<usize> = Vec::new();
+        for (shard, sub) in sub_batches.iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let depth = self.gauge.depths[shard].fetch_add(1, Ordering::SeqCst);
+            if depth >= self.queue_capacity {
+                self.gauge.depths[shard].fetch_sub(1, Ordering::SeqCst);
+                for &s in &reserved {
+                    self.gauge.depths[s].fetch_sub(1, Ordering::SeqCst);
+                }
+                return Err(Backpressure {
+                    batch,
+                    reason: BackpressureReason::QueueFull { shard },
+                });
+            }
+            reserved.push(shard);
+        }
+
+        let shared = Arc::new(BatchShared::new(ops, reserved.len()));
         for (shard, sub) in sub_batches.into_iter().enumerate() {
             if sub.is_empty() {
                 continue;
@@ -168,21 +430,50 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
                 .send(Job {
                     shard,
                     ops: sub,
-                    done: done_tx.clone(),
+                    shared: Arc::clone(&shared),
                 })
                 .expect("pipeline worker exited early");
-            pending += 1;
         }
-        BatchTicket {
-            pending,
-            rx: done_rx,
-            ops,
+        Ok(SubmitHandle { shared, ops })
+    }
+
+    /// Submit, waiting for queue capacity when a shard is saturated (the
+    /// blocking counterpart of [`ShardPipeline::try_submit`]).
+    pub fn submit(&self, batch: OpBatch) -> SubmitHandle {
+        // Uncontended fast path: no lock at all, so concurrent submitters
+        // split and enqueue their batches fully in parallel.
+        let mut batch = match self.try_submit(batch) {
+            Ok(handle) => return handle,
+            Err(bp) => bp.batch,
+        };
+        // Slow path: register as a waiter (so workers notify), then retry
+        // under the capacity lock. The register-then-check order pairs with
+        // the workers' free-then-check-waiters order; the wait timeout is a
+        // belt-and-braces backstop.
+        self.gauge.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.gauge.lock.lock().expect("pipeline poisoned");
+        loop {
+            match self.try_submit(batch) {
+                Ok(handle) => {
+                    drop(guard);
+                    self.gauge.waiters.fetch_sub(1, Ordering::SeqCst);
+                    return handle;
+                }
+                Err(bp) => batch = bp.batch,
+            }
+            let (next, _) = self
+                .gauge
+                .freed
+                .wait_timeout(guard, Duration::from_millis(10))
+                .expect("pipeline poisoned");
+            guard = next;
         }
     }
 
-    /// Submit and wait: the synchronous convenience wrapper.
+    /// Submit and wait: the synchronous convenience wrapper returning merged
+    /// counters (the old `submit(..).wait()` surface in one call).
     pub fn execute(&self, batch: OpBatch) -> BatchResult {
-        self.submit(batch).wait()
+        BatchResult::from_responses(&self.submit(batch).wait())
     }
 }
 
@@ -197,48 +488,142 @@ impl<B: ConcurrentIndex<u64> + 'static> Drop for ShardPipeline<B> {
     }
 }
 
-/// Execute one per-shard sub-batch. Point ops hit the owning backend
-/// directly; scans go through the composite for cross-shard stitching.
+/// Execute one per-shard sub-batch, producing `(slot, response)` pairs.
+/// Point ops hit the owning backend directly; scans go through the
+/// composite for cross-shard stitching, gated on the composite's merged
+/// capability flags.
 fn execute_sub_batch<B: ConcurrentIndex<u64>>(
     index: &ShardedIndex<u64, B>,
-    shard: usize,
-    ops: &[Op],
-) -> BatchResult {
-    let backend = index.backend(shard);
-    let mut result = BatchResult {
-        ops: ops.len(),
-        ..Default::default()
-    };
-    let mut scan_buf: Vec<(u64, Payload)> = Vec::new();
-    for op in ops {
-        match *op {
-            Op::Get(k) => {
-                if backend.get(k).is_some() {
-                    result.hits += 1;
+    backend_meta: &IndexMeta,
+    index_meta: &IndexMeta,
+    job: &Job,
+) -> Vec<(usize, Response<u64>)> {
+    let backend = index.backend(job.shard);
+    job.ops
+        .iter()
+        .map(|&(slot, op)| {
+            let response = match op {
+                Op::Range(_) => op.execute(index, index_meta),
+                _ => op.execute(backend, backend_meta),
+            };
+            (slot, response)
+        })
+        .collect()
+}
+
+/// A client-side handle that pipelines many in-flight batches over one
+/// [`ShardPipeline`], handing results back in **FIFO submission order**.
+///
+/// A session caps its own **in-flight** window (`max_inflight`): submitting
+/// past the cap first waits out the oldest batch, so a single client cannot
+/// monopolize the pipeline's bounded shard queues. Completed-but-unreceived
+/// results are *not* bounded — they accumulate inside the session until the
+/// client consumes them through [`try_recv`](Session::try_recv) /
+/// [`recv`](Session::recv) / [`drain`](Session::drain), so a client that
+/// only ever submits retains one response buffer per batch.
+///
+/// Dropping a session mid-flight is safe: its outstanding batches still
+/// execute (the pipeline's drop-drains guarantee), only the results are
+/// discarded.
+pub struct Session<'p, B: ConcurrentIndex<u64> + 'static> {
+    pipeline: &'p ShardPipeline<B>,
+    inflight: VecDeque<SubmitHandle>,
+    completed: VecDeque<Vec<Response<u64>>>,
+    max_inflight: usize,
+}
+
+/// Default cap on a session's in-flight batches.
+pub const DEFAULT_MAX_INFLIGHT: usize = 32;
+
+impl<'p, B: ConcurrentIndex<u64> + 'static> Session<'p, B> {
+    /// Open a session over `pipeline` with the default in-flight window.
+    pub fn new(pipeline: &'p ShardPipeline<B>) -> Self {
+        Self::with_max_inflight(pipeline, DEFAULT_MAX_INFLIGHT)
+    }
+
+    /// Open a session with an explicit in-flight window (clamped to ≥ 1).
+    pub fn with_max_inflight(pipeline: &'p ShardPipeline<B>, max_inflight: usize) -> Self {
+        Session {
+            pipeline,
+            inflight: VecDeque::new(),
+            completed: VecDeque::new(),
+            max_inflight: max_inflight.max(1),
+        }
+    }
+
+    /// Batches submitted but not yet returned through `recv`/`try_recv`.
+    pub fn pending(&self) -> usize {
+        self.inflight.len() + self.completed.len()
+    }
+
+    /// Submit a batch, blocking only when the session's in-flight window or
+    /// a shard queue is full (never on the batch's own completion).
+    pub fn submit(&mut self, batch: OpBatch) {
+        while self.inflight.len() >= self.max_inflight {
+            let handle = self.inflight.pop_front().expect("inflight not empty");
+            self.completed.push_back(handle.wait());
+        }
+        self.inflight.push_back(self.pipeline.submit(batch));
+    }
+
+    /// Non-blocking submit: `Err(Backpressure)` if the in-flight window
+    /// ([`BackpressureReason::WindowFull`]) or a shard queue
+    /// ([`BackpressureReason::QueueFull`]) is full, with the batch returned
+    /// for retry.
+    pub fn try_submit(&mut self, batch: OpBatch) -> Result<(), Backpressure> {
+        self.harvest_ready();
+        if self.inflight.len() >= self.max_inflight {
+            return Err(Backpressure {
+                batch,
+                reason: BackpressureReason::WindowFull,
+            });
+        }
+        self.inflight.push_back(self.pipeline.try_submit(batch)?);
+        Ok(())
+    }
+
+    /// The oldest unreturned batch's responses, if it has completed
+    /// (non-blocking). `None` when nothing is pending or the oldest batch is
+    /// still executing — FIFO order means a completed newer batch is never
+    /// returned early.
+    pub fn try_recv(&mut self) -> Option<Vec<Response<u64>>> {
+        if let Some(done) = self.completed.pop_front() {
+            return Some(done);
+        }
+        let front = self.inflight.front_mut()?;
+        let responses = front.try_take()?;
+        self.inflight.pop_front();
+        Some(responses)
+    }
+
+    /// Block for the oldest unreturned batch's responses; `None` when the
+    /// session has nothing pending.
+    pub fn recv(&mut self) -> Option<Vec<Response<u64>>> {
+        if let Some(done) = self.completed.pop_front() {
+            return Some(done);
+        }
+        Some(self.inflight.pop_front()?.wait())
+    }
+
+    /// Wait out every pending batch and return all remaining responses in
+    /// submission order.
+    pub fn drain(&mut self) -> Vec<Vec<Response<u64>>> {
+        let mut all: Vec<Vec<Response<u64>>> = self.completed.drain(..).collect();
+        all.extend(self.inflight.drain(..).map(SubmitHandle::wait));
+        all
+    }
+
+    fn harvest_ready(&mut self) {
+        while let Some(front) = self.inflight.front_mut() {
+            match front.try_take() {
+                Some(responses) => {
+                    self.inflight.pop_front();
+                    self.completed.push_back(responses);
                 }
-            }
-            Op::Insert(k, v) => {
-                if backend.insert(k, v) {
-                    result.new_keys += 1;
-                }
-            }
-            Op::Update(k, v) => {
-                if backend.update(k, v) {
-                    result.updated += 1;
-                }
-            }
-            Op::Remove(k) => {
-                if backend.remove(k).is_some() {
-                    result.removed += 1;
-                }
-            }
-            Op::Scan(k, count) => {
-                scan_buf.clear();
-                result.scanned_keys += index.range(RangeSpec::new(k, count), &mut scan_buf);
+                None => break,
             }
         }
     }
-    result
 }
 
 #[cfg(test)]
@@ -246,7 +631,7 @@ mod tests {
     use super::*;
     use crate::partition::Partitioner;
     use gre_core::index::MutexIndex;
-    use gre_core::{Index, IndexMeta};
+    use gre_core::{Index, IndexMeta, Payload, RangeSpec};
     use std::collections::BTreeMap;
 
     /// Single-threaded BTreeMap index, wrapped per shard in MutexIndex.
@@ -282,6 +667,7 @@ mod tests {
             out.extend(
                 self.map
                     .range(spec.start..)
+                    .take_while(|(k, _)| spec.end.map_or(true, |e| **k <= e))
                     .take(spec.count)
                     .map(|(k, v)| (*k, *v)),
             );
@@ -314,29 +700,47 @@ mod tests {
     }
 
     #[test]
-    fn batch_results_aggregate_per_op_outcomes() {
+    fn responses_come_back_typed_and_in_submission_order() {
         let p = pipeline(4, 2);
         assert_eq!(p.worker_count(), 2);
         let batch = OpBatch::new(vec![
-            Op::Get(0),           // hit
-            Op::Get(1),           // miss (odd keys absent)
-            Op::Insert(1, 10),    // new key
-            Op::Insert(0, 99),    // overwrite, not a new key
-            Op::Update(2, 77),    // present
-            Op::Update(9_999, 0), // absent
-            Op::Remove(4),        // present
-            Op::Remove(5),        // absent
-            Op::Scan(0, 100),     // 100 keys
+            Op::Get(0),                             // hit
+            Op::Get(1),                             // miss (odd keys absent)
+            Op::Insert(1, 10),                      // new key
+            Op::Insert(0, 99),                      // overwrite, not a new key
+            Op::Update(2, 77),                      // present
+            Op::Update(9_999, 0),                   // absent
+            Op::Remove(4),                          // present, payload 2
+            Op::Remove(5),                          // absent
+            Op::Range(RangeSpec::new(6, 3)),        // keys 6, 8, 10
+            Op::Range(RangeSpec::bounded(6, 8, 9)), // keys 6, 8
         ]);
-        assert_eq!(batch.len(), 9);
+        assert_eq!(batch.len(), 10);
         assert!(!batch.is_empty());
-        let r = p.execute(batch);
-        assert_eq!(r.ops, 9);
+        let responses = p.submit(batch).wait();
+        assert_eq!(
+            responses,
+            vec![
+                Response::Get(Some(0)),
+                Response::Get(None),
+                Response::Insert(true),
+                Response::Insert(false),
+                Response::Update(true),
+                Response::Update(false),
+                Response::Remove(Some(2)),
+                Response::Remove(None),
+                Response::Range(vec![(6, 3), (8, 4), (10, 5)]),
+                Response::Range(vec![(6, 3), (8, 4)]),
+            ]
+        );
+        let r = BatchResult::from_responses(&responses);
+        assert_eq!(r.ops, 10);
         assert_eq!(r.hits, 1);
         assert_eq!(r.new_keys, 1);
         assert_eq!(r.updated, 1);
         assert_eq!(r.removed, 1);
-        assert_eq!(r.scanned_keys, 100);
+        assert_eq!(r.scanned_keys, 5);
+        assert_eq!(r.errors, 0);
         // The writes really landed.
         assert_eq!(p.index().get(1), Some(10));
         assert_eq!(p.index().get(0), Some(99));
@@ -347,8 +751,41 @@ mod tests {
     #[test]
     fn empty_batch_completes_immediately() {
         let p = pipeline(4, 4);
-        let r = p.execute(OpBatch::default());
-        assert_eq!(r, BatchResult::default());
+        let mut handle = p.submit(OpBatch::default());
+        assert!(handle.is_ready());
+        assert!(handle.is_empty());
+        assert_eq!(handle.try_take(), Some(vec![]));
+        // Results can only be taken once.
+        assert_eq!(handle.try_take(), None);
+        assert_eq!(p.execute(OpBatch::default()), BatchResult::default());
+    }
+
+    #[test]
+    fn handle_polling_is_nonblocking_and_single_shot() {
+        let p = pipeline(4, 2);
+        let mut handle = p.submit(OpBatch::new(vec![Op::Get(0), Op::Insert(7, 7)]));
+        // Poll to completion without ever calling wait().
+        let responses = loop {
+            if let Some(r) = handle.try_take() {
+                break r;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(responses[0], Response::Get(Some(0)));
+        assert_eq!(responses[1], Response::Insert(true));
+        assert!(handle.is_ready(), "ready stays true after take");
+        assert_eq!(handle.try_take(), None, "results are single-shot");
+        assert_eq!(handle.wait_timeout(Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn wait_timeout_returns_results_within_deadline() {
+        let p = pipeline(4, 2);
+        let mut handle = p.submit(OpBatch::new(vec![Op::Get(0)]));
+        let responses = handle
+            .wait_timeout(Duration::from_secs(30))
+            .expect("one-op batch completes well within 30s");
+        assert_eq!(responses, vec![Response::Get(Some(0))]);
     }
 
     #[test]
@@ -378,13 +815,73 @@ mod tests {
         {
             let p = pipeline(4, 2);
             for i in 0..50u64 {
-                // Tickets are intentionally dropped: fire-and-forget.
+                // Handles are intentionally dropped: fire-and-forget.
                 p.submit(OpBatch::new(vec![Op::Insert(100_001 + 2 * i, i)]));
             }
             total = Arc::clone(p.index());
             // p drops here; workers must finish the queued inserts first.
         }
         assert_eq!(total.len(), 4_000 + 50);
+    }
+
+    #[test]
+    fn unsupported_ops_answer_errors_not_silence() {
+        // A backend without delete or range support: remove/scan requests
+        // must fail loudly per-op while the rest of the batch executes.
+        struct NoDeleteIndex(MapIndex);
+        impl Index<u64> for NoDeleteIndex {
+            fn bulk_load(&mut self, entries: &[(u64, Payload)]) {
+                self.0.bulk_load(entries);
+            }
+            fn get(&self, key: u64) -> Option<Payload> {
+                self.0.get(key)
+            }
+            fn insert(&mut self, key: u64, value: Payload) -> bool {
+                self.0.insert(key, value)
+            }
+            fn update(&mut self, key: u64, value: Payload) -> bool {
+                self.0.update(key, value)
+            }
+            fn remove(&mut self, key: u64) -> Option<Payload> {
+                self.0.remove(key)
+            }
+            fn range(&self, spec: RangeSpec<u64>, out: &mut Vec<(u64, Payload)>) -> usize {
+                self.0.range(spec, out)
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn memory_usage(&self) -> usize {
+                self.0.memory_usage()
+            }
+            fn meta(&self) -> IndexMeta {
+                IndexMeta {
+                    supports_delete: false,
+                    supports_range: false,
+                    ..self.0.meta()
+                }
+            }
+        }
+
+        let mut idx = ShardedIndex::from_factory(Partitioner::range(2), |_| {
+            MutexIndex::new(NoDeleteIndex(MapIndex::default()), "nodelete")
+        });
+        let entries: Vec<(u64, Payload)> = (0..100u64).map(|i| (i, i)).collect();
+        idx.bulk_load(&entries);
+        let p = ShardPipeline::new(Arc::new(idx), 2);
+        let responses = p
+            .submit(OpBatch::new(vec![
+                Op::Get(1),
+                Op::Remove(1),
+                Op::Range(RangeSpec::new(0, 5)),
+            ]))
+            .wait();
+        assert_eq!(responses[0], Response::Get(Some(1)));
+        assert!(responses[1].is_error(), "remove must be rejected");
+        assert!(responses[2].is_error(), "range must be rejected");
+        // The rejected remove really did not execute.
+        assert_eq!(p.index().get(1), Some(1));
+        assert_eq!(BatchResult::from_responses(&responses).errors, 2);
     }
 
     #[test]
@@ -408,5 +905,102 @@ mod tests {
             }
         });
         assert_eq!(p.index().len(), 4_000 + 4 * 20 * 50);
+    }
+
+    #[test]
+    fn session_returns_fifo_results_while_pipelining() {
+        let p = pipeline(4, 2);
+        let mut session = Session::with_max_inflight(&p, 4);
+        // 10 batches in flight; each writes then reads its own key.
+        for b in 0..10u64 {
+            session.submit(OpBatch::new(vec![
+                Op::Insert(100_001 + 2 * b, b),
+                Op::Get(100_001 + 2 * b),
+            ]));
+        }
+        let mut got = Vec::new();
+        while let Some(responses) = session.recv() {
+            got.push(responses);
+        }
+        assert_eq!(got.len(), 10);
+        for (b, responses) in got.iter().enumerate() {
+            // FIFO: batch b's responses come back b-th, and the read-your-
+            // write inside a batch holds (same shard ⇒ same FIFO queue).
+            assert_eq!(responses[0], Response::Insert(true), "batch {b}");
+            assert_eq!(responses[1], Response::Get(Some(b as u64)), "batch {b}");
+        }
+        assert_eq!(session.pending(), 0);
+        assert!(session.try_recv().is_none());
+    }
+
+    #[test]
+    fn session_drain_collects_everything_in_order() {
+        let p = pipeline(4, 2);
+        let mut session = Session::new(&p);
+        for b in 0..5u64 {
+            session.submit(OpBatch::new(vec![Op::Insert(200_001 + 2 * b, b)]));
+        }
+        let all = session.drain();
+        assert_eq!(all.len(), 5);
+        for (b, responses) in all.iter().enumerate() {
+            assert_eq!(responses, &vec![Response::Insert(true)], "batch {b}");
+        }
+        assert_eq!(session.pending(), 0);
+    }
+
+    #[test]
+    fn session_window_caps_inflight_batches() {
+        let p = pipeline(2, 1);
+        let mut session = Session::with_max_inflight(&p, 2);
+        for b in 0..6u64 {
+            session.submit(OpBatch::new(vec![Op::Get(2 * b)]));
+            assert!(session.inflight.len() <= 2, "window respected");
+        }
+        assert_eq!(session.drain().len(), 6);
+    }
+
+    #[test]
+    fn try_submit_backpressure_is_all_or_nothing() {
+        // One worker, one shard, tiny queue: saturate it and verify accepted
+        // batches all execute while rejected ones come back intact.
+        let mut idx = ShardedIndex::from_factory(Partitioner::range(1), |_| {
+            MutexIndex::new(MapIndex::default(), "map-shard")
+        });
+        idx.bulk_load(&[(0, 0)]);
+        let p = ShardPipeline::with_queue_capacity(Arc::new(idx), 1, 2);
+        assert_eq!(p.queue_capacity(), 2);
+
+        let mut accepted: Vec<SubmitHandle> = Vec::new();
+        let mut rejected = 0usize;
+        let mut accepted_keys: Vec<u64> = Vec::new();
+        for i in 0..2_000u64 {
+            let key = 10 + i;
+            match p.try_submit(OpBatch::new(vec![Op::Insert(key, i)])) {
+                Ok(handle) => {
+                    accepted_keys.push(key);
+                    accepted.push(handle);
+                }
+                Err(bp) => {
+                    // The rejected batch comes back intact for retry.
+                    assert_eq!(bp.batch.ops, vec![Op::Insert(key, i)]);
+                    assert_eq!(bp.reason, BackpressureReason::QueueFull { shard: 0 });
+                    rejected += 1;
+                }
+            }
+        }
+        // Every accepted op completed with a typed response…
+        for handle in accepted {
+            let responses = handle.wait();
+            assert_eq!(responses, vec![Response::Insert(true)]);
+        }
+        // …and is visible in the store: accepted + bulk = final len.
+        assert_eq!(p.index().len(), 1 + accepted_keys.len());
+        for key in accepted_keys {
+            assert!(p.index().get(key).is_some());
+        }
+        assert!(
+            rejected > 0,
+            "a 2-deep queue must reject under a 2k-op flood"
+        );
     }
 }

@@ -85,6 +85,8 @@ impl<K: Key, B: ConcurrentIndex<K>> ShardedIndex<K, B> {
     /// Fan-out range scan for unordered (hash) partitioning: every shard may
     /// hold keys from the requested window, so collect up to `count` from
     /// each and k-way merge the per-shard (individually sorted) results.
+    /// The merge enforces `spec.end` itself, so backends that ignore the
+    /// bound still produce a correctly clipped stitched window.
     fn range_fan_out(&self, spec: RangeSpec<K>, out: &mut Vec<(K, Payload)>) -> usize {
         let mut per_shard: Vec<Vec<(K, Payload)>> = Vec::with_capacity(self.backends.len());
         for b in &self.backends {
@@ -104,7 +106,10 @@ impl<K: Key, B: ConcurrentIndex<K>> ShardedIndex<K, B> {
                 }
             }
             match min {
-                Some((s, _)) => {
+                Some((s, k)) => {
+                    if !spec.admits(k) {
+                        break;
+                    }
                     out.push(per_shard[s][cursors[s]]);
                     cursors[s] += 1;
                 }
@@ -174,7 +179,9 @@ impl<K: Key, B: ConcurrentIndex<K>> ConcurrentIndex<K> for ShardedIndex<K, B> {
 
     /// Cross-shard scans are stitched in key order. Range partitioning walks
     /// shards sequentially (shard `s + 1`'s keys all exceed shard `s`'s);
-    /// hash partitioning fans out to every shard and merges.
+    /// hash partitioning fans out to every shard and merges. The stitcher
+    /// enforces `spec.end` itself (clipping each shard's sorted tail), so
+    /// bounded windows are honored even over backends that ignore the bound.
     fn range(&self, spec: RangeSpec<K>, out: &mut Vec<(K, Payload)>) -> usize {
         if !self.partitioner.is_ordered() {
             return self.range_fan_out(spec, out);
@@ -185,12 +192,38 @@ impl<K: Key, B: ConcurrentIndex<K>> ConcurrentIndex<K> for ShardedIndex<K, B> {
             if remaining == 0 {
                 break;
             }
-            let got = self.backends[s].range(RangeSpec::new(spec.start, remaining), out);
-            remaining -= got;
+            let sub = RangeSpec {
+                start: spec.start,
+                count: remaining,
+                end: spec.end,
+            };
+            let got = self.backends[s].range(sub, out);
+            if spec.end.is_some() {
+                // Clip any overshoot past the end bound; once a shard's
+                // results reach past it, later (larger-keyed) shards can't
+                // contribute anything.
+                let mut clipped = got;
+                while clipped > 0 && out.last().is_some_and(|e| !spec.admits(e.0)) {
+                    out.pop();
+                    clipped -= 1;
+                }
+                if clipped < got {
+                    break;
+                }
+                remaining -= clipped;
+            } else {
+                remaining -= got;
+            }
         }
         out.len() - before
     }
 
+    /// Sum of the per-shard entry counts, read **non-atomically**: each
+    /// shard is queried in turn with no global quiesce, so while writers are
+    /// active the sum may mix before/after states of different shards and
+    /// transiently differ from any single serialization of the write stream.
+    /// In a quiesced state (no in-flight writes) the value is exact — see
+    /// the `len_is_exact_when_quiesced` test, which pins this contract.
     fn len(&self) -> usize {
         self.backends.iter().map(|b| b.len()).sum()
     }
@@ -376,6 +409,62 @@ mod tests {
                 "stitched scan must be in strictly ascending key order"
             );
         }
+    }
+
+    #[test]
+    fn bounded_range_scan_clips_at_end_across_shards() {
+        for partitioner in [Partitioner::range(8), Partitioner::hash(8)] {
+            let scheme = partitioner.scheme();
+            let mut idx = sharded(partitioner);
+            idx.bulk_load(&entries(8_000)); // keys 0, 7, 14, …
+                                            // Window [21, 2100]: keys 21..=2100 step 7 → 298 entries, fewer
+                                            // than the count limit, so the end bound does the clipping.
+            let mut out = Vec::new();
+            let got = idx.range(RangeSpec::bounded(21, 2_100, 5_000), &mut out);
+            assert_eq!(got, 298, "{scheme}");
+            assert_eq!(out.first().unwrap().0, 21);
+            assert_eq!(out.last().unwrap().0, 2_100); // 2100 = 300*7 is a stored key
+            assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(out.iter().all(|e| (21..=2_100).contains(&e.0)));
+            // Count still limits a wide bounded window.
+            out.clear();
+            assert_eq!(idx.range(RangeSpec::bounded(0, u64::MAX, 10), &mut out), 10);
+            // Empty window.
+            out.clear();
+            assert_eq!(
+                idx.range(RangeSpec::bounded(22, 27, 10), &mut out),
+                0,
+                "{scheme}"
+            );
+        }
+    }
+
+    #[test]
+    fn len_is_exact_when_quiesced() {
+        // The trait impl documents len() as approximate only while writers
+        // are in flight; this pins the exactness half of that contract:
+        // after every write completes, the non-atomic per-shard sum must
+        // equal the true entry count.
+        let mut idx = sharded(Partitioner::range(4));
+        idx.bulk_load(&entries(4_000));
+        let idx = std::sync::Arc::new(idx);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let idx = std::sync::Arc::clone(&idx);
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        // Fresh keys (existing keys are multiples of 7).
+                        idx.insert(1_000_000 + t * 1_000_000 + i * 7 + 1, i);
+                    }
+                    for i in 0..100u64 {
+                        idx.remove(1_000_000 + t * 1_000_000 + i * 7 + 1);
+                    }
+                });
+            }
+        });
+        // Quiesced: all writer threads joined by scope exit.
+        assert_eq!(idx.len(), 4_000 + 4 * (1_000 - 100));
+        assert_eq!(idx.per_shard_lens().iter().sum::<usize>(), idx.len());
     }
 
     #[test]

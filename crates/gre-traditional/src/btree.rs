@@ -371,7 +371,16 @@ impl<K: Key> Index<K> for BPlusTree<K> {
     }
 
     fn range(&self, spec: RangeSpec<K>, out: &mut Vec<(K, Payload)>) -> usize {
-        self.scan_from(spec.start, spec.count, out)
+        let before = out.len();
+        self.scan_from(spec.start, spec.count, out);
+        // Honor the optional inclusive end bound: the side-link scan is
+        // count-limited, so clip the (sorted) tail that overshot the window.
+        if spec.end.is_some() {
+            while out.len() > before && out.last().is_some_and(|e| !spec.admits(e.0)) {
+                out.pop();
+            }
+        }
+        out.len() - before
     }
 
     fn len(&self) -> usize {
@@ -480,6 +489,33 @@ mod tests {
         out.clear();
         assert_eq!(t.range(RangeSpec::new(0, 5), &mut out), 5);
         assert_eq!(out[0].0, 0);
+    }
+
+    #[test]
+    fn bounded_range_scan_respects_the_end_key() {
+        let mut t = BPlusTree::new();
+        t.bulk_load(&entries(1_000));
+        let stride = {
+            let mut probe = Vec::new();
+            t.range(RangeSpec::new(0, 2), &mut probe);
+            probe[1].0 - probe[0].0
+        };
+        let mut out = Vec::new();
+        // End bound clips before the count limit: [10*stride, 14*stride]
+        // holds exactly 5 keys.
+        let (lo, hi) = (10 * stride, 14 * stride);
+        assert_eq!(t.range(RangeSpec::bounded(lo, hi, 50), &mut out), 5);
+        assert_eq!(out.first().unwrap().0, lo);
+        assert_eq!(out.last().unwrap().0, hi);
+        // Count limits a wide window.
+        out.clear();
+        assert_eq!(t.range(RangeSpec::bounded(0, 999 * stride, 3), &mut out), 3);
+        // Window with no keys in it.
+        out.clear();
+        assert_eq!(
+            t.range(RangeSpec::bounded(lo + 1, lo + stride - 1, 10), &mut out),
+            0
+        );
     }
 
     #[test]

@@ -91,6 +91,12 @@ impl<K: Key, I: Index<K> + Default + Sync> ConcurrentIndex<K> for Sharded<K, I> 
         self.shards[self.shard_for(key)].write().insert(key, value)
     }
 
+    /// Presence check and write run under one shard write lock, satisfying
+    /// the trait's single-critical-section atomicity contract.
+    fn update(&self, key: K, value: Payload) -> bool {
+        self.shards[self.shard_for(key)].write().update(key, value)
+    }
+
     fn remove(&self, key: K) -> Option<Payload> {
         self.shards[self.shard_for(key)].write().remove(key)
     }
@@ -155,6 +161,11 @@ impl<K: Key, I: Index<K> + Sync> ConcurrentIndex<K> for InnerLockIndex<I> {
 
     fn insert(&self, key: K, value: Payload) -> bool {
         self.inner.write().insert(key, value)
+    }
+
+    /// One structure-wide write lock covers the whole check-then-write.
+    fn update(&self, key: K, value: Payload) -> bool {
+        self.inner.write().update(key, value)
     }
 
     fn remove(&self, key: K) -> Option<Payload> {

@@ -6,7 +6,10 @@
 //! it lives here next to the generators: given a routing function
 //! `key -> shard`, [`split_ops_by_shard`] buckets a request stream into one
 //! sub-stream per shard while preserving the original relative order of the
-//! operations inside each bucket (the per-shard FIFO the pipeline relies on).
+//! operations inside each bucket (the per-shard FIFO the pipeline relies
+//! on). [`split_indexed_ops_by_shard`] additionally carries each operation's
+//! position in the original stream, which is what lets the pipeline fill
+//! per-op result slots in submission order.
 
 use crate::spec::Op;
 
@@ -15,9 +18,7 @@ use crate::spec::Op;
 /// continuing a scan that crosses into neighbouring shards).
 #[inline]
 pub fn route_key(op: &Op) -> u64 {
-    match *op {
-        Op::Get(k) | Op::Insert(k, _) | Op::Update(k, _) | Op::Remove(k) | Op::Scan(k, _) => k,
-    }
+    op.route_key()
 }
 
 /// Split a request stream into `shards` per-shard sub-streams using `route`
@@ -35,8 +36,26 @@ where
     let hint = ops.len() / shards;
     let mut buckets: Vec<Vec<Op>> = (0..shards).map(|_| Vec::with_capacity(hint)).collect();
     for op in ops {
-        let s = route(route_key(op)).min(shards - 1);
+        let s = route(op.route_key()).min(shards - 1);
         buckets[s].push(*op);
+    }
+    buckets
+}
+
+/// Like [`split_ops_by_shard`], but each bucketed operation carries its index
+/// in the original stream, so a per-shard executor can report results back
+/// into a response slot at the operation's submission position.
+pub fn split_indexed_ops_by_shard<F>(ops: &[Op], shards: usize, route: F) -> Vec<Vec<(usize, Op)>>
+where
+    F: Fn(u64) -> usize,
+{
+    let shards = shards.max(1);
+    let hint = ops.len() / shards;
+    let mut buckets: Vec<Vec<(usize, Op)>> =
+        (0..shards).map(|_| Vec::with_capacity(hint)).collect();
+    for (i, op) in ops.iter().enumerate() {
+        let s = route(op.route_key()).min(shards - 1);
+        buckets[s].push((i, *op));
     }
     buckets
 }
@@ -44,6 +63,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gre_core::RangeSpec;
 
     #[test]
     fn route_key_covers_every_op() {
@@ -51,7 +71,7 @@ mod tests {
         assert_eq!(route_key(&Op::Insert(8, 1)), 8);
         assert_eq!(route_key(&Op::Update(9, 1)), 9);
         assert_eq!(route_key(&Op::Remove(10)), 10);
-        assert_eq!(route_key(&Op::Scan(11, 100)), 11);
+        assert_eq!(route_key(&Op::Range(RangeSpec::new(11, 100))), 11);
     }
 
     #[test]
@@ -86,5 +106,27 @@ mod tests {
         let buckets = split_ops_by_shard(&ops, 0, |_| 0);
         assert_eq!(buckets.len(), 1);
         assert_eq!(buckets[0].len(), 2);
+    }
+
+    #[test]
+    fn indexed_split_carries_submission_positions() {
+        let ops: Vec<Op> = (0..50u64).map(|i| Op::Insert(i, i)).collect();
+        let buckets = split_indexed_ops_by_shard(&ops, 3, |k| (k % 3) as usize);
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), ops.len());
+        let mut seen = vec![false; ops.len()];
+        for (s, bucket) in buckets.iter().enumerate() {
+            for &(i, op) in bucket {
+                // The carried index points at the original op.
+                assert_eq!(ops[i], op);
+                assert_eq!(route_key(&op) % 3, s as u64);
+                seen[i] = true;
+            }
+            // Indices inside a bucket keep submission order.
+            assert!(bucket.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every op lands in exactly one bucket"
+        );
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::spec::{payload_for, Op, Workload, WriteRatio};
 use crate::zipf::ScrambledZipf;
+use gre_core::RangeSpec;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -183,7 +184,12 @@ impl WorkloadBuilder {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5e6f);
         let bulk = sorted_entries(keys);
         let ops = (0..num_queries)
-            .map(|_| Op::Scan(keys[rng.gen_range(0..keys.len())], scan_size))
+            .map(|_| {
+                Op::Range(RangeSpec::new(
+                    keys[rng.gen_range(0..keys.len())],
+                    scan_size,
+                ))
+            })
             .collect();
         Workload {
             name: format!("{name}/scan-{scan_size}"),
@@ -369,7 +375,10 @@ mod tests {
         let b = WorkloadBuilder::new(5);
         let w = b.range_workload("t", &keys(1000), 100, 50);
         assert_eq!(w.ops.len(), 50);
-        assert!(w.ops.iter().all(|o| matches!(o, Op::Scan(_, 100))));
+        assert!(w
+            .ops
+            .iter()
+            .all(|o| matches!(o, Op::Range(RangeSpec { count: 100, .. }))));
         assert_eq!(w.bulk.len(), 1000);
     }
 

@@ -18,7 +18,7 @@ pub mod runner;
 pub mod spec;
 pub mod zipf;
 
-pub use batch::{route_key, split_ops_by_shard};
+pub use batch::{route_key, split_indexed_ops_by_shard, split_ops_by_shard};
 pub use generate::WorkloadBuilder;
 pub use runner::{run_concurrent, run_single, LatencySummary, RunResult};
 pub use spec::{Op, OpKind, Workload, WriteRatio};

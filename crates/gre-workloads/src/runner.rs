@@ -8,7 +8,7 @@
 //! index.
 
 use crate::spec::{Op, OpKind, Workload};
-use gre_core::{ConcurrentIndex, Index, RangeSpec};
+use gre_core::{ConcurrentIndex, Index};
 use std::time::Instant;
 
 /// Fraction of operations whose latency is sampled: one in every N ops.
@@ -143,15 +143,15 @@ pub fn run_single<I: Index<u64> + ?Sized>(index: &mut I, workload: &Workload) ->
             Op::Remove(k) => {
                 index.remove(k);
             }
-            Op::Scan(k, count) => {
+            Op::Range(spec) => {
                 scan_buf.clear();
-                scanned += index.range(RangeSpec::new(k, count), &mut scan_buf);
+                scanned += index.range(spec, &mut scan_buf);
             }
         }
         if let Some(start) = start {
             let ns = start.elapsed().as_nanos() as u64;
             match op.kind() {
-                OpKind::Get | OpKind::Scan => read_samples.push(ns),
+                OpKind::Get | OpKind::Range => read_samples.push(ns),
                 _ => write_samples.push(ns),
             }
         }
@@ -228,15 +228,15 @@ pub fn run_concurrent<I: ConcurrentIndex<u64> + ?Sized>(
                             Op::Remove(k) => {
                                 shared.remove(k);
                             }
-                            Op::Scan(k, count) => {
+                            Op::Range(spec) => {
                                 scan_buf.clear();
-                                scanned += shared.range(RangeSpec::new(k, count), &mut scan_buf);
+                                scanned += shared.range(spec, &mut scan_buf);
                             }
                         }
                         if let Some(start) = start {
                             let ns = start.elapsed().as_nanos() as u64;
                             match op.kind() {
-                                OpKind::Get | OpKind::Scan => read_samples.push(ns),
+                                OpKind::Get | OpKind::Range => read_samples.push(ns),
                                 _ => write_samples.push(ns),
                             }
                         }
@@ -289,7 +289,7 @@ mod tests {
     use crate::generate::WorkloadBuilder;
     use crate::spec::WriteRatio;
     use gre_core::index::MutexIndex;
-    use gre_core::{IndexMeta, Payload};
+    use gre_core::{IndexMeta, Payload, RangeSpec};
     use std::collections::BTreeMap;
 
     /// Reference index used to exercise the runner.

@@ -1,49 +1,19 @@
 //! Workload and operation types.
+//!
+//! The operation vocabulary itself is the canonical typed request enum from
+//! `gre-core` ([`gre_core::ops::Request`]); this module pins it to the
+//! benchmark's `u64` key type as [`Op`] and adds the workload-level types
+//! built on top of it (write-ratio axis, materialized workloads).
 
 use gre_core::Payload;
 
-/// A single request issued against an index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Op {
-    /// Point lookup of a key.
-    Get(u64),
-    /// Insert a key with a payload.
-    Insert(u64, Payload),
-    /// Update the payload of an (expected-present) key in place.
-    Update(u64, Payload),
-    /// Delete a key.
-    Remove(u64),
-    /// Range scan: fetch `count` keys starting from `start`.
-    Scan(u64, usize),
-}
+/// A single request issued against an index: the canonical
+/// [`Request`](gre_core::ops::Request) over the benchmark's `u64` keys.
+/// Range scans are expressed as `Op::Range(RangeSpec::new(start, count))`.
+pub type Op = gre_core::ops::Request<u64>;
 
-impl Op {
-    /// The kind of this operation (used for per-kind latency sampling).
-    pub fn kind(&self) -> OpKind {
-        match self {
-            Op::Get(_) => OpKind::Get,
-            Op::Insert(_, _) => OpKind::Insert,
-            Op::Update(_, _) => OpKind::Update,
-            Op::Remove(_) => OpKind::Remove,
-            Op::Scan(_, _) => OpKind::Scan,
-        }
-    }
-
-    /// Whether the operation mutates the index.
-    pub fn is_write(&self) -> bool {
-        matches!(self, Op::Insert(_, _) | Op::Update(_, _) | Op::Remove(_))
-    }
-}
-
-/// Operation kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum OpKind {
-    Get,
-    Insert,
-    Update,
-    Remove,
-    Scan,
-}
+/// Operation kinds (used for per-kind latency sampling).
+pub use gre_core::ops::RequestKind as OpKind;
 
 /// The five write-ratio points of the paper's workload axis (§3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,15 +107,17 @@ pub fn payload_for(key: u64) -> Payload {
 mod tests {
     use super::*;
 
+    use gre_core::RangeSpec;
+
     #[test]
     fn op_kinds_and_write_classification() {
         assert_eq!(Op::Get(1).kind(), OpKind::Get);
         assert_eq!(Op::Insert(1, 2).kind(), OpKind::Insert);
         assert_eq!(Op::Update(1, 2).kind(), OpKind::Update);
         assert_eq!(Op::Remove(1).kind(), OpKind::Remove);
-        assert_eq!(Op::Scan(1, 10).kind(), OpKind::Scan);
+        assert_eq!(Op::Range(RangeSpec::new(1, 10)).kind(), OpKind::Range);
         assert!(!Op::Get(1).is_write());
-        assert!(!Op::Scan(1, 10).is_write());
+        assert!(!Op::Range(RangeSpec::new(1, 10)).is_write());
         assert!(Op::Insert(1, 2).is_write());
         assert!(Op::Update(1, 2).is_write());
         assert!(Op::Remove(1).is_write());
@@ -167,7 +139,12 @@ mod tests {
         let w = Workload {
             name: "t".into(),
             bulk: vec![(1, 1)],
-            ops: vec![Op::Get(1), Op::Insert(2, 2), Op::Remove(1), Op::Scan(0, 5)],
+            ops: vec![
+                Op::Get(1),
+                Op::Insert(2, 2),
+                Op::Remove(1),
+                Op::Range(RangeSpec::new(0, 5)),
+            ],
         };
         assert_eq!(w.write_ops(), 2);
         assert_eq!(w.read_ops(), 2);

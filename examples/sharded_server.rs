@@ -1,16 +1,19 @@
 //! A sharded key-value "server": the `gre-shard` serving layer over ALEX+,
-//! taking batched requests from several client threads through the
-//! `ShardPipeline` worker pool.
+//! taking batched requests from several client threads through the typed
+//! request/response client API.
 //!
-//! Demonstrates the full serving stack: range partitioner fitted from the
-//! loaded key CDF, per-shard backends, batched submission with per-shard
-//! FIFO execution, cross-shard range scans, and merged reporting.
+//! Demonstrates the full serving stack: the typed `IndexBuilder`
+//! configuration surface, range partitioner fitted from the loaded key CDF,
+//! per-shard backends, `Session`s pipelining batches with FIFO completion,
+//! per-op `Response` values (not just counters), a non-blocking
+//! `SubmitHandle` polled to completion without ever calling `wait()`, and
+//! cross-shard bounded range scans.
 //!
 //! Run with `cargo run --release --example sharded_server`.
 
-use gre::shard::{OpBatch, Partitioner, ShardPipeline, ShardedIndex};
-use gre_bench::registry;
-use gre_core::ConcurrentIndex;
+use gre::shard::{OpBatch, Session, ShardPipeline};
+use gre_bench::registry::IndexBuilder;
+use gre_core::{ConcurrentIndex, RangeSpec, Response};
 use gre_workloads::Op;
 use std::sync::Arc;
 
@@ -19,16 +22,16 @@ const WORKERS: usize = 4;
 const CLIENTS: u64 = 4;
 const BATCHES_PER_CLIENT: u64 = 100;
 const OPS_PER_BATCH: u64 = 1_000;
+const INFLIGHT: usize = 8;
 
 fn main() {
-    // Boot the store: 500k keys bulk-loaded into ALEX+ shards behind a
-    // range partitioner fitted to the loaded keys' CDF.
+    // Boot the store through the typed builder: 500k keys bulk-loaded into
+    // ALEX+ shards behind a range partitioner fitted to the loaded key CDF.
     let entries: Vec<(u64, u64)> = (0..500_000u64).map(|i| (i * 4, i)).collect();
-    let mut store: ShardedIndex<u64, _> =
-        ShardedIndex::from_factory(Partitioner::range(SHARDS), |_| {
-            registry::concurrent_backend("alex+").expect("alex+ registered")
-        })
-        .with_name("sharded(ALEX+,8)");
+    let mut store = IndexBuilder::backend("alex+")
+        .expect("alex+ registered")
+        .shards(SHARDS)
+        .build_sharded();
     store.bulk_load(&entries);
     println!(
         "serving {} keys as {} ({} shards, per-shard entries {:?})",
@@ -37,17 +40,61 @@ fn main() {
         store.num_shards(),
         store.per_shard_lens()
     );
-
-    // Serve batched traffic: CLIENTS submitter threads, WORKERS executors.
     let pipeline = ShardPipeline::new(Arc::new(store), WORKERS);
+
+    // A client reading its own typed results through a non-blocking
+    // SubmitHandle: no wait() on the hot path — poll try_take and do other
+    // work (here: just count the polls) until the responses arrive.
+    let mut handle = pipeline.submit(OpBatch::new(vec![
+        Op::Get(400_000),                            // loaded key → payload 100_000
+        Op::Insert(400_001, 7),                      // fresh odd key
+        Op::Get(123_456_789),                        // miss
+        Op::Range(RangeSpec::bounded(80, 100, 100)), // bounded window scan
+    ]));
+    let mut polls = 0u64;
+    let responses = loop {
+        match handle.try_take() {
+            Some(responses) => break responses,
+            None => {
+                polls += 1;
+                std::thread::yield_now();
+            }
+        }
+    };
+    assert_eq!(responses[0], Response::Get(Some(100_000)));
+    assert_eq!(responses[1], Response::Insert(true));
+    assert_eq!(responses[2], Response::Get(None));
+    println!(
+        "non-blocking handle ready after {polls} polls: \
+         get(400000) -> {:?}, insert(400001) -> {:?}, get(miss) -> {:?}",
+        responses[0], responses[1], responses[2]
+    );
+    if let Response::Range(window) = &responses[3] {
+        println!("bounded scan [80, 100] -> {window:?}");
+        assert!(window.iter().all(|e| (80..=100).contains(&e.0)));
+    }
+
+    // Serve pipelined traffic: CLIENTS submitter threads, each keeping up to
+    // INFLIGHT batches in flight through its own Session, consuming typed
+    // responses in FIFO order as they complete.
     let start = std::time::Instant::now();
     let (hits, new_keys) = std::thread::scope(|s| {
         let pipeline = &pipeline;
         let handles: Vec<_> = (0..CLIENTS)
             .map(|c| {
                 s.spawn(move || {
+                    let mut session = Session::with_max_inflight(pipeline, INFLIGHT);
                     let mut hits = 0usize;
                     let mut new_keys = 0usize;
+                    let mut tally = |responses: Vec<Response<u64>>| {
+                        for r in responses {
+                            match r {
+                                Response::Get(found) => hits += usize::from(found.is_some()),
+                                Response::Insert(new) => new_keys += usize::from(new),
+                                _ => {}
+                            }
+                        }
+                    };
                     for b in 0..BATCHES_PER_CLIENT {
                         let ops: Vec<Op> = (0..OPS_PER_BATCH)
                             .map(|i| {
@@ -66,9 +113,15 @@ fn main() {
                                 }
                             })
                             .collect();
-                        let r = pipeline.execute(OpBatch::new(ops));
-                        hits += r.hits;
-                        new_keys += r.new_keys;
+                        session.submit(OpBatch::new(ops));
+                        // Drain whatever has completed without blocking the
+                        // submission stream.
+                        while let Some(responses) = session.try_recv() {
+                            tally(responses);
+                        }
+                    }
+                    for responses in session.drain() {
+                        tally(responses);
                     }
                     (hits, new_keys)
                 })
@@ -83,23 +136,25 @@ fn main() {
     let total_ops = CLIENTS * BATCHES_PER_CLIENT * OPS_PER_BATCH;
     println!(
         "{CLIENTS} clients x {BATCHES_PER_CLIENT} batches x {OPS_PER_BATCH} ops \
-         ({total_ops} total) on {WORKERS} workers in {:.2}s ({:.2} Mop/s)",
+         ({total_ops} total) on {WORKERS} workers, {INFLIGHT} batches in flight per \
+         session, in {:.2}s ({:.2} Mop/s)",
         elapsed.as_secs_f64(),
         total_ops as f64 / elapsed.as_secs_f64() / 1e6
     );
     println!("lookup hits: {hits}, inserted keys: {new_keys}");
 
-    // No lost updates: every insert landed exactly once.
+    // No lost updates: every insert landed exactly once (+1 for the
+    // non-blocking demo insert above).
     let store = pipeline.index();
     assert_eq!(
         store.len() as u64,
-        500_000 + new_keys as u64,
+        500_000 + 1 + new_keys as u64,
         "inserted batch ops must all be visible"
     );
 
     // A cross-shard scan through the serving layer.
     let mut window = Vec::new();
-    let got = store.range(gre_core::RangeSpec::new(1_000_000, 10), &mut window);
+    let got = store.range(RangeSpec::new(1_000_000, 10), &mut window);
     println!(
         "scan of 10 keys from 1000000 crossed shards in key order: {got} keys, first {:?}",
         window.first()
