@@ -1,8 +1,15 @@
 //! Figure 5: throughput of read-only / balanced / write-only workloads while
 //! scaling the thread count on one socket.
+//!
+//! Runs through the scenario `Driver` (one-phase closed-loop replay per
+//! workload) so `--verbose` can report per-kind latency tails next to the
+//! throughput cells.
+use gre_bench::report::print_phase_latency;
 use gre_bench::{registry::concurrent_indexes, RunOpts};
 use gre_datasets::Dataset;
-use gre_workloads::{run_concurrent, WorkloadBuilder, WriteRatio};
+use gre_workloads::driver::Driver;
+use gre_workloads::scenario::{Pacing, Scenario};
+use gre_workloads::{WorkloadBuilder, WriteRatio};
 
 fn main() {
     let opts = RunOpts::from_env();
@@ -26,11 +33,22 @@ fn main() {
             for entry in concurrent_indexes(true) {
                 let mut row = format!("{:<10} {:<6} {:<10}", ds.name(), ratio.label(), entry.name);
                 let mut index = entry.index;
+                let mut tails = Vec::new();
                 for &t in &thread_points {
-                    let r = run_concurrent(index.as_mut(), &workload, t);
-                    row.push_str(&format!(" {:>8.3}", r.throughput_mops()));
+                    let scenario =
+                        Scenario::from_workload(&workload, Pacing::ClosedLoop { threads: t });
+                    let result = Driver::new().run(&scenario, index.as_mut());
+                    let phase = result.phases.into_iter().next().expect("one phase");
+                    row.push_str(&format!(" {:>8.3}", phase.throughput_mops()));
+                    if opts.verbose {
+                        tails.push((t, phase));
+                    }
                 }
                 println!("{row}");
+                for (t, phase) in &tails {
+                    println!("    latency @{t}T:");
+                    print_phase_latency("      ", phase);
+                }
             }
         }
     }

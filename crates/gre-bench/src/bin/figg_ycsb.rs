@@ -1,12 +1,30 @@
 //! Figure G (appendix): YCSB A/B/C with Zipfian (0.99) request keys,
 //! single-threaded and multi-threaded.
+//!
+//! The multi-threaded sweep is expressed natively in the scenario engine —
+//! YCSB *is* a one-phase scenario (a get/update `Mix` over
+//! `KeyDist::Zipf { theta: 0.99 }`) — instead of pre-materializing the
+//! request stream; the single-threaded rows keep the materialized workload
+//! (single-threaded indexes sit outside the concurrent serving surface).
+use gre_bench::report::print_phase_latency;
 use gre_bench::{
     registry::{concurrent_indexes, single_thread_indexes},
     RunOpts,
 };
 use gre_datasets::Dataset;
+use gre_workloads::driver::Driver;
 use gre_workloads::generate::YcsbVariant;
-use gre_workloads::{run_concurrent, run_single, WorkloadBuilder};
+use gre_workloads::scenario::{KeyDist, Mix, Pacing, Phase, Scenario, Span};
+use gre_workloads::{run_single, WorkloadBuilder};
+
+/// The scenario mix of a YCSB variant: lookups plus in-place updates.
+fn ycsb_mix(variant: YcsbVariant) -> Mix {
+    match variant {
+        YcsbVariant::A => Mix::ycsb_a(),
+        YcsbVariant::B => Mix::ycsb_b(),
+        YcsbVariant::C => Mix::read_only(),
+    }
+}
 
 fn main() {
     let opts = RunOpts::from_env();
@@ -32,17 +50,35 @@ fn main() {
                     r.throughput_mops()
                 );
             }
+            let scenario = Scenario::new(
+                &format!("{}/{}", ds.name(), variant.name()),
+                opts.seed,
+                &keys,
+            )
+            .phase(Phase::new(
+                variant.name(),
+                ycsb_mix(variant),
+                KeyDist::Zipf { theta: 0.99 },
+                Span::Ops(opts.keys as u64),
+                Pacing::ClosedLoop {
+                    threads: opts.threads,
+                },
+            ));
             for entry in concurrent_indexes(true) {
                 let mut index = entry.index;
-                let r = run_concurrent(index.as_mut(), &workload, opts.threads);
+                let result = Driver::new().run(&scenario, index.as_mut());
+                let phase = result.phases.into_iter().next().expect("one phase");
                 println!(
                     "{:<10} {:<8} {:<12} {:>9} {:>10.3}",
                     ds.name(),
                     variant.name(),
                     entry.name,
                     opts.threads,
-                    r.throughput_mops()
+                    phase.throughput_mops()
                 );
+                if opts.verbose {
+                    print_phase_latency("      ", &phase);
+                }
             }
         }
     }

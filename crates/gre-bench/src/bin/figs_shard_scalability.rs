@@ -2,28 +2,31 @@
 //! `sharded(backend, S)` while sweeping shard count × thread count ×
 //! backend on the paper's balanced workload.
 //!
-//! Three execution paths per configuration:
+//! All three execution paths run the same one-phase replay scenario through
+//! the `gre-workloads` scenario `Driver` — only the `ServeTarget` differs:
 //!
-//! * `direct`  — client threads call the composite `ConcurrentIndex`
-//!   directly (`run_concurrent`), one routing decision per op.
-//! * `batched` — the same request stream split into `OpBatch`es and
-//!   submitted to the `ShardPipeline` worker pool one batch at a time
-//!   (submit, then wait), amortizing routing and hand-off over `BATCH` ops
-//!   with per-shard FIFO execution.
-//! * `session` — the same batches submitted through per-client `Session`s
-//!   that keep up to `INFLIGHT` batches in flight each, overlapping
-//!   submission with execution (the typed request/response client surface).
+//! * `direct`  — driver threads call the composite `ConcurrentIndex`
+//!   directly (the blanket bare-backend target), one routing decision
+//!   per op.
+//! * `batched` — `PipelineTarget`: the request stream is buffered into
+//!   `BATCH`-op `OpBatch`es and submitted to the `ShardPipeline` worker
+//!   pool one batch at a time (submit, then wait), amortizing routing and
+//!   thread hand-off with per-shard FIFO execution.
+//! * `session` — `SessionTarget`: the same batches submitted through
+//!   per-thread `Session`s that keep up to `INFLIGHT` batches in flight
+//!   each, overlapping submission with execution.
 //!
-//! `--shards N` caps the shard-count axis, `--threads T` the thread axis.
+//! `--shards N` caps the shard-count axis, `--threads T` the thread axis,
+//! `--verbose` adds per-kind latency breakdowns per path.
 
 use gre_bench::registry::IndexBuilder;
+use gre_bench::report::print_phase_latency;
 use gre_bench::RunOpts;
-use gre_core::ConcurrentIndex;
 use gre_datasets::Dataset;
-use gre_shard::{OpBatch, Session, ShardPipeline};
-use gre_workloads::{run_concurrent, Workload, WorkloadBuilder, WriteRatio};
-use std::sync::Arc;
-use std::time::Instant;
+use gre_shard::{PipelineTarget, SessionTarget};
+use gre_workloads::driver::{Driver, PhaseResult, ServeTarget};
+use gre_workloads::scenario::{Pacing, Scenario};
+use gre_workloads::{Workload, WorkloadBuilder, WriteRatio};
 
 /// Ops per submitted batch on the batched and session paths.
 const BATCH: usize = 1024;
@@ -79,27 +82,46 @@ fn main() {
                 let spec = IndexBuilder::backend(backend)
                     .expect("registry backend resolves")
                     .shards(shards);
-                let name = spec.build_sharded().meta().name.to_string();
+                let name = spec.display_name();
                 let mut rows = [
                     (String::from("direct"), String::new()),
                     (String::from("batched"), String::new()),
                     (String::from("session"), String::new()),
                 ];
+                let mut tails: Vec<(String, PhaseResult)> = Vec::new();
                 for &threads in &thread_points {
+                    let scenario =
+                        Scenario::from_workload(&workload, Pacing::ClosedLoop { threads });
                     // Always the composite — even at 1 shard — so every row
                     // of the sweep measures the same structure and the
                     // shards=1 baseline includes the routing dispatch too.
-                    let mut index = spec.build_sharded();
-                    let r = run_concurrent(&mut index, &workload, threads);
+                    let mut direct = spec.build_sharded();
+                    let phase = run_path(&scenario, &mut direct, &workload);
                     rows[0]
                         .1
-                        .push_str(&format!(" {:>8.3}", r.throughput_mops()));
+                        .push_str(&format!(" {:>8.3}", phase.throughput_mops()));
+                    if opts.verbose {
+                        tails.push((format!("direct/{threads}T"), phase));
+                    }
+
+                    let mut batched = PipelineTarget::new(spec.build_sharded(), threads, BATCH);
+                    let phase = run_path(&scenario, &mut batched, &workload);
                     rows[1]
                         .1
-                        .push_str(&format!(" {:>8.3}", run_batched(&spec, &workload, threads)));
+                        .push_str(&format!(" {:>8.3}", phase.throughput_mops()));
+                    if opts.verbose {
+                        tails.push((format!("batched/{threads}T"), phase));
+                    }
+
+                    let mut session =
+                        SessionTarget::new(spec.build_sharded(), threads, BATCH, INFLIGHT);
+                    let phase = run_path(&scenario, &mut session, &workload);
                     rows[2]
                         .1
-                        .push_str(&format!(" {:>8.3}", run_session(&spec, &workload, threads)));
+                        .push_str(&format!(" {:>8.3}", phase.throughput_mops()));
+                    if opts.verbose {
+                        tails.push((format!("session/{threads}T"), phase));
+                    }
                 }
                 for (path, cells) in rows {
                     println!(
@@ -110,80 +132,33 @@ fn main() {
                         path
                     );
                 }
+                for (label, phase) in &tails {
+                    println!("    latency {label}:");
+                    print_phase_latency("      ", phase);
+                }
             }
         }
     }
 }
 
-/// Bulk load a fresh sharded composite and serve it from a pipeline.
-fn boot(
-    spec: &IndexBuilder,
+/// Run the one-phase replay scenario against one target and return the
+/// phase measurements, checking no operation was dropped on the way.
+fn run_path<T: ServeTarget + ?Sized>(
+    scenario: &Scenario,
+    target: &mut T,
     workload: &Workload,
-    workers: usize,
-) -> ShardPipeline<Box<dyn ConcurrentIndex<u64>>> {
-    let mut index = spec.build_sharded();
-    ConcurrentIndex::bulk_load(&mut index, &workload.bulk);
-    ShardPipeline::new(Arc::new(index), workers)
-}
-
-/// Throughput of the batched pipeline path: one submitter, one batch in
-/// flight at a time (submit, then wait for its typed responses).
-fn run_batched(spec: &IndexBuilder, workload: &Workload, workers: usize) -> f64 {
-    let pipeline = boot(spec, workload, workers);
-    let timer = Instant::now();
-    let mut executed = 0usize;
-    for chunk in workload.ops.chunks(BATCH) {
-        executed += pipeline.submit(OpBatch::new(chunk.to_vec())).wait().len();
-    }
-    let elapsed = timer.elapsed().as_secs_f64();
-    assert_eq!(executed, workload.ops.len(), "pipeline dropped operations");
-    if elapsed == 0.0 {
-        return 0.0;
-    }
-    executed as f64 / elapsed / 1e6
-}
-
-/// Throughput of the session-pipelined path: `clients` threads each keep up
-/// to `INFLIGHT` batches in flight through their own `Session`, consuming
-/// typed responses in FIFO order as they complete.
-fn run_session(spec: &IndexBuilder, workload: &Workload, clients: usize) -> f64 {
-    let clients = clients.max(1);
-    let pipeline = boot(spec, workload, clients);
-    let chunk_size = workload.ops.len().div_ceil(clients).max(1);
-    let timer = Instant::now();
-    let executed: usize = std::thread::scope(|s| {
-        let pipeline = &pipeline;
-        let handles: Vec<_> = workload
-            .ops
-            .chunks(chunk_size)
-            .map(|client_ops| {
-                s.spawn(move || {
-                    let mut session = Session::with_max_inflight(pipeline, INFLIGHT);
-                    let mut executed = 0usize;
-                    for chunk in client_ops.chunks(BATCH) {
-                        session.submit(OpBatch::new(chunk.to_vec()));
-                        // Consume whatever has already completed, without
-                        // blocking the submission stream.
-                        while let Some(responses) = session.try_recv() {
-                            executed += responses.len();
-                        }
-                    }
-                    for responses in session.drain() {
-                        executed += responses.len();
-                    }
-                    executed
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread panicked"))
-            .sum()
-    });
-    let elapsed = timer.elapsed().as_secs_f64();
-    assert_eq!(executed, workload.ops.len(), "session dropped operations");
-    if elapsed == 0.0 {
-        return 0.0;
-    }
-    executed as f64 / elapsed / 1e6
+) -> PhaseResult {
+    let result = Driver::new().run(scenario, target);
+    let phase = result
+        .phases
+        .into_iter()
+        .next()
+        .expect("one-phase scenario");
+    assert_eq!(
+        phase.ops() as usize,
+        workload.ops.len(),
+        "{}: target dropped operations",
+        result.target
+    );
+    phase
 }

@@ -283,6 +283,7 @@ mod tests {
             seed: 1,
             shards: 1,
             quick: true,
+            verbose: false,
         };
         let hm = single_thread_heatmap("test", &[Dataset::Covid], &opts, HeatmapMode::Inserts);
         assert_eq!(hm.cells.len(), WriteRatio::ALL.len());
@@ -305,6 +306,7 @@ mod tests {
             seed: 1,
             shards: 1,
             quick: true,
+            verbose: false,
         };
         let hm = concurrent_heatmap("test-mt", &[Dataset::Stack], &opts, true);
         assert_eq!(hm.cells.len(), 5);

@@ -7,6 +7,7 @@
 
 pub mod heatmap;
 pub mod registry;
+pub mod report;
 pub mod runopts;
 
 pub use heatmap::{Heatmap, HeatmapCell};

@@ -1,0 +1,50 @@
+//! Shared latency-report formatting for the per-figure binaries' verbose
+//! mode: per-[`RequestKind`](gre_core::RequestKind) summary lines so read
+//! and write tails stay separable in the printed output.
+
+use gre_workloads::driver::PhaseResult;
+use gre_workloads::KindSummaries;
+
+/// Print one line per request kind that recorded samples:
+/// `kind  n  p50  p99  p999  max` (latencies in µs).
+pub fn print_kind_latency(indent: &str, kinds: &KindSummaries) {
+    for (kind, s) in kinds.iter_nonempty() {
+        println!(
+            "{indent}{:<7} n={:<9} p50={:>9.1}us p99={:>9.1}us p999={:>9.1}us max={:>9.1}us",
+            kind.label(),
+            s.samples,
+            s.p50_ns as f64 / 1e3,
+            s.p99_ns as f64 / 1e3,
+            s.p999_ns as f64 / 1e3,
+            s.max_ns as f64 / 1e3,
+        );
+    }
+}
+
+/// Per-kind latency lines for one scenario phase.
+pub fn print_phase_latency(indent: &str, phase: &PhaseResult) {
+    print_kind_latency(indent, &KindSummaries::from_kind_latency(&phase.latency));
+}
+
+/// A condensed `completions-per-interval` view of a phase's throughput
+/// series: `interval_s` column pairs, at most `max_cols` of them (evenly
+/// subsampled beyond that).
+pub fn interval_series(phase: &PhaseResult, max_cols: usize) -> String {
+    let n = phase.intervals.len();
+    if n == 0 || max_cols == 0 {
+        return String::from("(no intervals)");
+    }
+    let stride = n.div_ceil(max_cols);
+    let secs = phase.interval_ns as f64 / 1e9;
+    phase
+        .intervals
+        .chunks(stride)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let total: u64 = chunk.iter().sum();
+            let rate = total as f64 / (chunk.len() as f64 * secs);
+            format!("{:.1}s:{:.0}/s", i as f64 * stride as f64 * secs, rate)
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}

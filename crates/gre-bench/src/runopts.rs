@@ -9,6 +9,7 @@
 //! --seed S      RNG seed                           (default 42)
 //! --shards N    max shard count for sharded serving-layer sweeps (default 8)
 //! --quick       shrink everything for a smoke run
+//! --verbose     per-kind latency breakdowns (get/insert/update/remove/range)
 //! ```
 
 /// Parsed command-line options.
@@ -21,6 +22,9 @@ pub struct RunOpts {
     /// (`figs_shard_scalability`); other binaries ignore it.
     pub shards: usize,
     pub quick: bool,
+    /// Print per-`RequestKind` latency summaries next to the throughput
+    /// rows (binaries with latency reporting honor this).
+    pub verbose: bool,
 }
 
 impl Default for RunOpts {
@@ -33,6 +37,7 @@ impl Default for RunOpts {
             seed: 42,
             shards: 8,
             quick: false,
+            verbose: false,
         }
     }
 }
@@ -65,6 +70,7 @@ impl RunOpts {
                     }
                 }
                 "--quick" => opts.quick = true,
+                "--verbose" => opts.verbose = true,
                 _ => {}
             }
         }
@@ -101,6 +107,13 @@ mod tests {
         assert_eq!(o.threads, 2);
         assert_eq!(o.seed, 7);
         assert_eq!(o.shards, 8, "default shard axis");
+    }
+
+    #[test]
+    fn verbose_flag_parses() {
+        assert!(!RunOpts::parse(s(&[])).verbose);
+        assert!(RunOpts::parse(s(&["--verbose"])).verbose);
+        assert!(RunOpts::parse(s(&["--quick", "--verbose"])).quick);
     }
 
     #[test]

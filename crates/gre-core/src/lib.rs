@@ -16,6 +16,9 @@
 //!   ([`ops::Request`]/[`ops::Response`]) spoken by the
 //!   workload generators and the serving layers, with per-operation
 //!   capability gating ([`ops::IndexError`]).
+//! * [`latency`] — kind-indexed log-linear latency histograms
+//!   ([`latency::LatencyHistogram`], [`latency::KindLatency`]) used by the
+//!   scenario driver for coordinated-omission-safe tail reporting.
 //! * [`sync`] — the optimistic versioned lock (OLC word) used by the
 //!   concurrent index variants (ALEX+, LIPP+, ART-OLC, B+TreeOLC).
 //! * [`error`] — the shared error type.
@@ -23,6 +26,7 @@
 pub mod error;
 pub mod index;
 pub mod key;
+pub mod latency;
 pub mod ops;
 pub mod stats;
 pub mod sync;
@@ -30,6 +34,7 @@ pub mod sync;
 pub use error::{GreError, Result};
 pub use index::{ConcurrentIndex, Index, IndexMeta, RangeSpec};
 pub use key::{Entry, Key, Payload};
+pub use latency::{KindLatency, LatencyHistogram};
 pub use ops::{IndexError, Request, RequestKind, Response};
 pub use stats::{InsertBreakdown, InsertStats, OpCounters, StatsSnapshot};
 pub use sync::{OptLock, OptLockWriteGuard};

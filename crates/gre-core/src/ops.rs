@@ -48,6 +48,53 @@ pub enum RequestKind {
     Range,
 }
 
+impl RequestKind {
+    /// All kinds, in reporting order.
+    pub const ALL: [RequestKind; 5] = [
+        RequestKind::Get,
+        RequestKind::Insert,
+        RequestKind::Update,
+        RequestKind::Remove,
+        RequestKind::Range,
+    ];
+
+    /// Number of kinds (the length of [`RequestKind::ALL`]).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index of this kind in [`RequestKind::ALL`], for kind-indexed
+    /// tables like [`crate::latency::KindLatency`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RequestKind::Get => 0,
+            RequestKind::Insert => 1,
+            RequestKind::Update => 2,
+            RequestKind::Remove => 3,
+            RequestKind::Range => 4,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestKind::Get => "get",
+            RequestKind::Insert => "insert",
+            RequestKind::Update => "update",
+            RequestKind::Remove => "remove",
+            RequestKind::Range => "range",
+        }
+    }
+
+    /// Whether operations of this kind mutate the index.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            RequestKind::Insert | RequestKind::Update | RequestKind::Remove
+        )
+    }
+}
+
 impl<K: Key> Request<K> {
     /// The kind of this request.
     pub fn kind(&self) -> RequestKind {

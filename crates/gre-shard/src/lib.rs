@@ -32,9 +32,15 @@
 //!   [`SubmitHandle`]; [`Session`] pipelines many in-flight batches per
 //!   client with FIFO completion, and bounded shard queues reject overload
 //!   with [`Backpressure`] instead of queueing without limit.
+//! * [`serve`] — scenario-driver adapters ([`PipelineTarget`],
+//!   [`SessionTarget`]) that plug the batched and pipelined client paths
+//!   into the `gre-workloads` scenario [`Driver`](gre_workloads::Driver) as
+//!   [`ServeTarget`](gre_workloads::ServeTarget)s, next to the blanket
+//!   bare-backend target.
 
 pub mod partition;
 pub mod pipeline;
+pub mod serve;
 pub mod sharded;
 
 pub use partition::{HashPartitioner, Partitioner, RangePartitioner, Scheme};
@@ -42,4 +48,5 @@ pub use pipeline::{
     Backpressure, BackpressureReason, BatchResult, OpBatch, Session, ShardPipeline, SubmitHandle,
     DEFAULT_MAX_INFLIGHT, DEFAULT_QUEUE_CAPACITY,
 };
+pub use serve::{PipelineTarget, SessionTarget, DEFAULT_DRIVER_BATCH};
 pub use sharded::ShardedIndex;

@@ -1,0 +1,430 @@
+//! Scenario-driver targets for the serving layer: adapters that let the
+//! `gre-workloads` [`Driver`](gre_workloads::Driver) execute a scenario
+//! through the batched [`ShardPipeline`] or the pipelined [`Session`]
+//! client path, completing the three-way target set next to the bare
+//! [`ConcurrentIndex`] blanket impl:
+//!
+//! * **bare** — driver threads call the (possibly sharded) index directly;
+//!   one routing decision per op, latency is pure service time.
+//! * **[`PipelineTarget`]** — each driver thread buffers ops into
+//!   fixed-size [`OpBatch`]es and submits them one at a time
+//!   (submit-then-wait). Latency of an op is measured from its intended
+//!   send time to its *batch's* completion, so buffering and queueing delay
+//!   are charged to the request, not hidden.
+//! * **[`SessionTarget`]** — each driver thread opens a [`Session`] and
+//!   keeps up to `max_inflight` batches in flight, harvesting completions
+//!   in FIFO order as they arrive; the shape a real pipelined client has.
+//!
+//! Both adapters bulk load through the composite before spawning the worker
+//! pool, and their connections flush buffered and in-flight work when a
+//! phase ends — the driver reports only completed operations, and no
+//! accepted operation is lost when a phase (or the whole run) is cut short.
+
+use crate::pipeline::{OpBatch, Session, ShardPipeline};
+use crate::sharded::ShardedIndex;
+use gre_core::ops::RequestKind;
+use gre_core::{ConcurrentIndex, Payload};
+use gre_workloads::driver::{Connection, PhaseRecorder, ServeTarget};
+use gre_workloads::Op;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default ops per submitted batch for both adapters.
+pub const DEFAULT_DRIVER_BATCH: usize = 1024;
+
+/// Per-op bookkeeping a connection keeps for one in-flight batch: the op's
+/// kind and its intended send time (when the driver timed it).
+type BatchMeta = Vec<(RequestKind, Option<Instant>)>;
+
+/// Record one completed batch into the recorder, stamping every timed op
+/// with the batch's completion time.
+fn record_batch(rec: &mut PhaseRecorder, meta: &BatchMeta, responses: &[gre_core::Response<u64>]) {
+    let now = Instant::now();
+    for ((kind, intended), response) in meta.iter().zip(responses) {
+        match intended {
+            Some(t0) => rec.complete_timed(*kind, *t0, now, response),
+            None => rec.complete_untimed(response),
+        }
+    }
+}
+
+/// The shared core of both adapters: the sharded composite plus the worker
+/// pool serving it (created at [`ServeTarget::load`] time, after the bulk
+/// load, because loading needs exclusive access to the composite).
+struct PipelineCore<B: ConcurrentIndex<u64> + 'static> {
+    index: Arc<ShardedIndex<u64, B>>,
+    pipeline: Option<ShardPipeline<B>>,
+    workers: usize,
+    batch: usize,
+}
+
+impl<B: ConcurrentIndex<u64> + 'static> PipelineCore<B> {
+    fn new(index: ShardedIndex<u64, B>, workers: usize, batch: usize) -> Self {
+        PipelineCore {
+            index: Arc::new(index),
+            pipeline: None,
+            workers,
+            batch: batch.max(1),
+        }
+    }
+
+    fn load(&mut self, entries: &[(u64, Payload)]) {
+        Arc::get_mut(&mut self.index)
+            .expect("load() must run before the worker pool is spawned")
+            .bulk_load(entries);
+        self.pipeline = Some(ShardPipeline::new(Arc::clone(&self.index), self.workers));
+    }
+
+    fn pipeline(&self) -> &ShardPipeline<B> {
+        self.pipeline
+            .as_ref()
+            .expect("driver calls load() before connect()")
+    }
+}
+
+/// Serve scenarios through the batched `ShardPipeline` path: each driver
+/// thread submits one batch at a time and waits for its typed responses.
+pub struct PipelineTarget<B: ConcurrentIndex<u64> + 'static> {
+    core: PipelineCore<B>,
+}
+
+impl<B: ConcurrentIndex<u64> + 'static> PipelineTarget<B> {
+    /// Target `index` with a `workers`-thread pool and `batch`-op batches.
+    pub fn new(index: ShardedIndex<u64, B>, workers: usize, batch: usize) -> Self {
+        PipelineTarget {
+            core: PipelineCore::new(index, workers, batch),
+        }
+    }
+
+    /// The served composite (for post-run verification).
+    pub fn index(&self) -> &ShardedIndex<u64, B> {
+        &self.core.index
+    }
+}
+
+impl<B: ConcurrentIndex<u64> + 'static> ServeTarget for PipelineTarget<B> {
+    fn describe(&self) -> String {
+        format!(
+            "{} [pipeline batch={}]",
+            self.core.index.meta().name,
+            self.core.batch
+        )
+    }
+
+    fn load(&mut self, entries: &[(u64, Payload)]) {
+        self.core.load(entries);
+    }
+
+    fn connect(&self) -> Box<dyn Connection + '_> {
+        Box::new(PipelineConn {
+            pipeline: self.core.pipeline(),
+            batch: self.core.batch,
+            buf: Vec::with_capacity(self.core.batch),
+            meta: Vec::with_capacity(self.core.batch),
+        })
+    }
+
+    fn stored_len(&self) -> usize {
+        self.core.index.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.core.index.memory_usage()
+    }
+}
+
+struct PipelineConn<'a, B: ConcurrentIndex<u64> + 'static> {
+    pipeline: &'a ShardPipeline<B>,
+    batch: usize,
+    buf: Vec<Op>,
+    meta: BatchMeta,
+}
+
+impl<B: ConcurrentIndex<u64> + 'static> PipelineConn<'_, B> {
+    fn send(&mut self, rec: &mut PhaseRecorder) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let ops = std::mem::take(&mut self.buf);
+        let responses = self.pipeline.submit(OpBatch::new(ops)).wait();
+        record_batch(rec, &self.meta, &responses);
+        self.meta.clear();
+    }
+}
+
+impl<B: ConcurrentIndex<u64> + 'static> Connection for PipelineConn<'_, B> {
+    fn submit(&mut self, op: Op, intended: Option<Instant>, rec: &mut PhaseRecorder) {
+        self.buf.push(op);
+        self.meta.push((op.kind(), intended));
+        if self.buf.len() >= self.batch {
+            self.send(rec);
+        }
+    }
+
+    fn flush(&mut self, rec: &mut PhaseRecorder) {
+        self.send(rec);
+    }
+}
+
+/// Serve scenarios through pipelined [`Session`]s: each driver thread keeps
+/// up to `max_inflight` batches in flight and consumes completions in FIFO
+/// order without blocking the submission stream.
+pub struct SessionTarget<B: ConcurrentIndex<u64> + 'static> {
+    core: PipelineCore<B>,
+    max_inflight: usize,
+}
+
+impl<B: ConcurrentIndex<u64> + 'static> SessionTarget<B> {
+    /// Target `index` with a `workers`-thread pool, `batch`-op batches and
+    /// a per-connection in-flight window of `max_inflight` batches.
+    pub fn new(
+        index: ShardedIndex<u64, B>,
+        workers: usize,
+        batch: usize,
+        max_inflight: usize,
+    ) -> Self {
+        SessionTarget {
+            core: PipelineCore::new(index, workers, batch),
+            max_inflight: max_inflight.max(1),
+        }
+    }
+
+    /// The served composite (for post-run verification).
+    pub fn index(&self) -> &ShardedIndex<u64, B> {
+        &self.core.index
+    }
+}
+
+impl<B: ConcurrentIndex<u64> + 'static> ServeTarget for SessionTarget<B> {
+    fn describe(&self) -> String {
+        format!(
+            "{} [session batch={} inflight={}]",
+            self.core.index.meta().name,
+            self.core.batch,
+            self.max_inflight
+        )
+    }
+
+    fn load(&mut self, entries: &[(u64, Payload)]) {
+        self.core.load(entries);
+    }
+
+    fn connect(&self) -> Box<dyn Connection + '_> {
+        Box::new(SessionConn {
+            session: Session::with_max_inflight(self.core.pipeline(), self.max_inflight),
+            batch: self.core.batch,
+            buf: Vec::with_capacity(self.core.batch),
+            pending: VecDeque::new(),
+            buf_meta: Vec::with_capacity(self.core.batch),
+        })
+    }
+
+    fn stored_len(&self) -> usize {
+        self.core.index.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.core.index.memory_usage()
+    }
+}
+
+struct SessionConn<'a, B: ConcurrentIndex<u64> + 'static> {
+    session: Session<'a, B>,
+    batch: usize,
+    buf: Vec<Op>,
+    buf_meta: BatchMeta,
+    /// Metadata of submitted-but-unharvested batches, in submission order
+    /// (the session returns completions in the same FIFO order).
+    pending: VecDeque<BatchMeta>,
+}
+
+impl<B: ConcurrentIndex<u64> + 'static> SessionConn<'_, B> {
+    fn send(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let ops = std::mem::take(&mut self.buf);
+        self.pending.push_back(std::mem::take(&mut self.buf_meta));
+        // Blocking only when the in-flight window is full — the session
+        // then waits out its *oldest* batch, preserving FIFO harvests.
+        self.session.submit(OpBatch::new(ops));
+    }
+
+    fn harvest_ready(&mut self, rec: &mut PhaseRecorder) {
+        while let Some(responses) = self.session.try_recv() {
+            let meta = self
+                .pending
+                .pop_front()
+                .expect("every submitted batch has pending metadata");
+            record_batch(rec, &meta, &responses);
+        }
+    }
+}
+
+impl<B: ConcurrentIndex<u64> + 'static> Connection for SessionConn<'_, B> {
+    fn submit(&mut self, op: Op, intended: Option<Instant>, rec: &mut PhaseRecorder) {
+        self.buf.push(op);
+        self.buf_meta.push((op.kind(), intended));
+        if self.buf.len() >= self.batch {
+            self.send();
+            self.harvest_ready(rec);
+        }
+    }
+
+    fn flush(&mut self, rec: &mut PhaseRecorder) {
+        self.send();
+        for responses in self.session.drain() {
+            let meta = self
+                .pending
+                .pop_front()
+                .expect("every submitted batch has pending metadata");
+            record_batch(rec, &meta, &responses);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioner;
+    use gre_core::index::MutexIndex;
+    use gre_core::{Index, IndexMeta, RangeSpec};
+    use gre_workloads::scenario::{KeyDist, Mix, Pacing, Phase, Scenario, Span};
+    use gre_workloads::Driver;
+    use std::collections::BTreeMap;
+
+    #[derive(Default)]
+    struct MapIndex {
+        map: BTreeMap<u64, Payload>,
+    }
+
+    impl Index<u64> for MapIndex {
+        fn bulk_load(&mut self, entries: &[(u64, Payload)]) {
+            self.map = entries.iter().copied().collect();
+        }
+        fn get(&self, key: u64) -> Option<Payload> {
+            self.map.get(&key).copied()
+        }
+        fn insert(&mut self, key: u64, value: Payload) -> bool {
+            self.map.insert(key, value).is_none()
+        }
+        fn update(&mut self, key: u64, value: Payload) -> bool {
+            match self.map.get_mut(&key) {
+                Some(v) => {
+                    *v = value;
+                    true
+                }
+                None => false,
+            }
+        }
+        fn remove(&mut self, key: u64) -> Option<Payload> {
+            self.map.remove(&key)
+        }
+        fn range(&self, spec: RangeSpec<u64>, out: &mut Vec<(u64, Payload)>) -> usize {
+            let before = out.len();
+            out.extend(
+                self.map
+                    .range(spec.start..)
+                    .take_while(|(k, _)| spec.end.map_or(true, |e| **k <= e))
+                    .take(spec.count)
+                    .map(|(k, v)| (*k, *v)),
+            );
+            out.len() - before
+        }
+        fn len(&self) -> usize {
+            self.map.len()
+        }
+        fn memory_usage(&self) -> usize {
+            self.map.len() * 48
+        }
+        fn meta(&self) -> IndexMeta {
+            IndexMeta {
+                name: "map",
+                learned: false,
+                concurrent: false,
+                supports_delete: true,
+                supports_range: true,
+            }
+        }
+    }
+
+    fn sharded(shards: usize) -> ShardedIndex<u64, MutexIndex<MapIndex>> {
+        ShardedIndex::from_factory(Partitioner::range(shards), |_| {
+            MutexIndex::new(MapIndex::default(), "map-shard")
+        })
+    }
+
+    fn scenario(ops: u64, threads: usize) -> Scenario {
+        let keys: Vec<u64> = (1..=4_000u64).map(|i| i * 16).collect();
+        Scenario::new("serve-test", 77, &keys).phase(Phase::new(
+            "mixed",
+            Mix::points(3, 1, 1, 0).with_range(1, 20),
+            KeyDist::Uniform,
+            Span::Ops(ops),
+            Pacing::ClosedLoop { threads },
+        ))
+    }
+
+    #[test]
+    fn pipeline_target_completes_every_op() {
+        let mut target = PipelineTarget::new(sharded(4), 2, 128);
+        let result = Driver::new().run(&scenario(5_000, 2), &mut target);
+        let p = &result.phases[0];
+        assert_eq!(p.ops(), 5_000, "flush must account for the partial batch");
+        assert!(p.tally.hits > 0);
+        assert!(p.tally.new_keys > 0);
+        assert!(p.tally.scanned_keys > 0);
+        assert_eq!(p.tally.errors, 0);
+        assert_eq!(
+            target.index().len() as u64,
+            4_000 + p.tally.new_keys - p.tally.removed
+        );
+        assert!(result.target.contains("pipeline"));
+    }
+
+    #[test]
+    fn session_target_completes_every_op() {
+        let mut target = SessionTarget::new(sharded(4), 2, 128, 8);
+        let result = Driver::new().run(&scenario(5_000, 3), &mut target);
+        let p = &result.phases[0];
+        assert_eq!(p.ops(), 5_000, "drain must hand back every batch");
+        assert_eq!(p.tally.errors, 0);
+        assert_eq!(
+            target.index().len() as u64,
+            4_000 + p.tally.new_keys - p.tally.removed
+        );
+        assert!(result.target.contains("session"));
+    }
+
+    #[test]
+    fn batched_latency_is_measured_from_intended_send_time() {
+        // A tiny open-loop run: every op is timed, and since ops wait for
+        // their batch to fill before even being submitted, their recorded
+        // latency (measured from intended send time) must cover that
+        // buffering delay: with 64-op batches at 6.4k ops/s the first op of
+        // each batch waits ~10ms for the batch to fill.
+        let mut target = SessionTarget::new(sharded(2), 2, 64, 4);
+        let keys: Vec<u64> = (1..=2_000u64).map(|i| i * 8).collect();
+        let s = Scenario::new("co-safe", 5, &keys).phase(Phase::new(
+            "paced",
+            Mix::read_only(),
+            KeyDist::Uniform,
+            Span::Ops(256),
+            Pacing::OpenLoop {
+                rate_ops_s: 6_400.0,
+            },
+        ));
+        let result = Driver::new().open_loop_senders(1).run(&s, &mut target);
+        let p = &result.phases[0];
+        assert_eq!(p.ops(), 256);
+        assert_eq!(p.latency.total_count(), 256, "open loop times every op");
+        let get = p.kind_summary(RequestKind::Get);
+        // 64 ops fill a batch in 10ms; the batch-opening op waits all of it.
+        assert!(
+            get.max_ns > 2_000_000,
+            "max latency {}ns does not cover the buffering delay",
+            get.max_ns
+        );
+    }
+}

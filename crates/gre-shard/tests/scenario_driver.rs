@@ -1,0 +1,167 @@
+//! Cross-target model equivalence for the scenario engine: the same seeded
+//! [`Scenario`] driven through all three [`ServeTarget`] implementations —
+//! the bare sharded composite, the batched [`PipelineTarget`], and the
+//! pipelined [`SessionTarget`] — must leave identical final index contents,
+//! and those contents must match a `BTreeMap` model fed the same generated
+//! op streams.
+//!
+//! The scenario's writes are *commutative by construction* (inserts and
+//! updates both store the canonical `payload_for(key)`, and no phase
+//! removes), so the final contents are independent of cross-thread
+//! interleaving: any divergence between targets is a real serving-layer
+//! bug, not scheduling noise.
+
+use gre_core::{ConcurrentIndex, Payload, RangeSpec};
+use gre_learned::AlexPlus;
+use gre_shard::{Partitioner, PipelineTarget, SessionTarget, ShardedIndex};
+use gre_traditional::btree_olc;
+use gre_workloads::scenario::{phase_stream, KeyDist, Mix, Pacing, Phase, Scenario, Span};
+use gre_workloads::spec::payload_for;
+use gre_workloads::{Driver, Op};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+type DynBackend = Box<dyn ConcurrentIndex<u64>>;
+type BackendFactory = fn() -> DynBackend;
+
+fn backends() -> Vec<(&'static str, BackendFactory)> {
+    vec![
+        ("ALEX+", || Box::new(AlexPlus::<u64>::new())),
+        ("B+treeOLC", || Box::new(btree_olc::<u64>())),
+    ]
+}
+
+fn sharded(factory: BackendFactory) -> ShardedIndex<u64, DynBackend> {
+    ShardedIndex::from_factory(Partitioner::range(4), |_| factory())
+}
+
+/// A two-phase script mixing lookups, commutative writes, and cross-shard
+/// scans, with the hotspot drifting between phases.
+fn scenario() -> Scenario {
+    let keys: Vec<u64> = (1..=6_000u64).map(|i| i * 32).collect();
+    Scenario::new("equivalence", 0xC0FFEE, &keys)
+        .phase(Phase::new(
+            "warm",
+            Mix::points(4, 2, 1, 0).with_range(1, 24),
+            KeyDist::Hotspot {
+                start: 0.1,
+                span: 0.1,
+                hot_access: 0.8,
+            },
+            Span::Ops(8_000),
+            Pacing::ClosedLoop { threads: 3 },
+        ))
+        .phase(Phase::new(
+            "shifted",
+            Mix::points(2, 3, 1, 0).with_range(1, 24),
+            KeyDist::Hotspot {
+                start: 0.6,
+                span: 0.1,
+                hot_access: 0.8,
+            },
+            Span::Ops(8_000),
+            Pacing::ClosedLoop { threads: 3 },
+        ))
+}
+
+/// Every key/payload pair stored by a target, via a full cross-shard scan.
+fn contents(index: &ShardedIndex<u64, DynBackend>, name: &str) -> Vec<(u64, Payload)> {
+    let mut out = Vec::new();
+    let got = index.range(RangeSpec::new(0, index.len() + 1_000), &mut out);
+    assert_eq!(got, index.len(), "{name}: scan covers the whole store");
+    out
+}
+
+/// The model: apply every generated write, order-free (the scenario's
+/// writes commute), replicating the driver's per-thread budget split.
+fn model_contents(scenario: &Scenario) -> Vec<(u64, Payload)> {
+    let mut model: BTreeMap<u64, Payload> = scenario.bulk.iter().copied().collect();
+    let keys = Arc::new(scenario.loaded_keys());
+    for (pi, phase) in scenario.phases.iter().enumerate() {
+        let Pacing::ClosedLoop { threads } = phase.pacing else {
+            panic!("model replay only supports closed-loop op budgets")
+        };
+        let Span::Ops(total) = phase.span else {
+            panic!("model replay only supports op-count spans")
+        };
+        let base = total / threads as u64;
+        let extra = (total % threads as u64) as usize;
+        for t in 0..threads {
+            let budget = base + u64::from(t < extra);
+            let mut stream = phase_stream(scenario, &keys, pi, phase, t, threads);
+            for _ in 0..budget {
+                match stream.next_op().expect("synthetic streams are infinite") {
+                    Op::Insert(k, v) => {
+                        model.insert(k, v);
+                    }
+                    Op::Update(k, v) => {
+                        if let Some(slot) = model.get_mut(&k) {
+                            *slot = v;
+                        }
+                    }
+                    Op::Remove(_) => panic!("equivalence scenario must not remove"),
+                    Op::Get(_) | Op::Range(_) => {}
+                }
+            }
+        }
+    }
+    model.into_iter().collect()
+}
+
+#[test]
+fn same_scenario_yields_identical_contents_across_all_three_targets() {
+    let scenario = scenario();
+    let expected = model_contents(&scenario);
+    let total_ops: u64 = 16_000;
+
+    for (name, factory) in backends() {
+        // Bare composite: driver threads hit the ConcurrentIndex directly.
+        let mut bare = sharded(factory);
+        let bare_result = Driver::new().run(&scenario, &mut bare);
+        assert_eq!(bare_result.total_ops(), total_ops, "{name}/bare");
+        let bare_contents = contents(&bare, name);
+
+        // Batched pipeline: one batch in flight per driver thread.
+        let mut pipeline = PipelineTarget::new(sharded(factory), 2, 256);
+        let pipeline_result = Driver::new().run(&scenario, &mut pipeline);
+        assert_eq!(pipeline_result.total_ops(), total_ops, "{name}/pipeline");
+        let pipeline_contents = contents(pipeline.index(), name);
+
+        // Pipelined sessions: up to 8 batches in flight per driver thread.
+        let mut session = SessionTarget::new(sharded(factory), 2, 256, 8);
+        let session_result = Driver::new().run(&scenario, &mut session);
+        assert_eq!(session_result.total_ops(), total_ops, "{name}/session");
+        let session_contents = contents(session.index(), name);
+
+        assert_eq!(bare_contents, expected, "{name}: bare vs model");
+        assert_eq!(pipeline_contents, expected, "{name}: pipeline vs model");
+        assert_eq!(session_contents, expected, "{name}: session vs model");
+
+        // All per-phase tallies agree across targets: the same offered
+        // traffic produced the same typed outcomes everywhere.
+        for (pb, (pp, ps)) in bare_result.phases.iter().zip(
+            pipeline_result
+                .phases
+                .iter()
+                .zip(session_result.phases.iter()),
+        ) {
+            assert_eq!(pb.tally.new_keys, pp.tally.new_keys, "{name}/{}", pb.phase);
+            assert_eq!(pb.tally.new_keys, ps.tally.new_keys, "{name}/{}", pb.phase);
+            assert_eq!(pb.tally.errors, 0, "{name}/{}", pb.phase);
+            assert_eq!(pp.tally.errors, 0, "{name}/{}", pb.phase);
+            assert_eq!(ps.tally.errors, 0, "{name}/{}", pb.phase);
+        }
+    }
+}
+
+#[test]
+fn payloads_are_canonical_after_any_interleaving() {
+    // Spot-check the commutativity premise itself: every stored payload is
+    // the canonical function of its key, whichever write landed last.
+    let scenario = scenario();
+    let mut target = SessionTarget::new(sharded(backends()[0].1), 2, 128, 4);
+    Driver::new().run(&scenario, &mut target);
+    for (k, v) in contents(target.index(), "ALEX+") {
+        assert_eq!(v, payload_for(k), "key {k}");
+    }
+}

@@ -6,13 +6,16 @@
 
 use gre_core::{ConcurrentIndex, Payload, RangeSpec, Response};
 use gre_learned::AlexPlus;
-use gre_shard::{OpBatch, Partitioner, Session, ShardPipeline, ShardedIndex};
+use gre_shard::{OpBatch, Partitioner, Session, SessionTarget, ShardPipeline, ShardedIndex};
 use gre_traditional::btree_olc;
-use gre_workloads::Op;
+use gre_workloads::scenario::{KeyDist, Mix, Pacing, Phase, Scenario, Span};
+use gre_workloads::{Driver, Op};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 type DynBackend = Box<dyn ConcurrentIndex<u64>>;
 type DynSharded = ShardedIndex<u64, DynBackend>;
@@ -198,6 +201,66 @@ fn backpressure_loses_no_accepted_ops() {
             assert!(pipeline.index().get(key).is_some(), "{name} key {key}");
         }
         assert!(rejected > 0, "{name}: 2-deep queues must reject a 3k flood");
+    }
+}
+
+/// An open-loop scenario driver shut down mid-phase (stop flag flipped
+/// while batches are in flight through pipelined `Session`s) must lose no
+/// accepted op — everything submitted executes and lands in the store — and
+/// must report only completed ops: the reported tally accounts for the
+/// store's growth exactly, with every completion latency-recorded.
+#[test]
+fn open_loop_shutdown_mid_phase_loses_no_accepted_ops() {
+    for (name, factory) in backends() {
+        let mut idx = build(Partitioner::range(4), factory);
+        let bulk: Vec<(u64, Payload)> = (0..4_000u64).map(|i| (i * 16, i)).collect();
+        idx.bulk_load(&bulk);
+        let bulk_len = idx.len();
+        let mut target = SessionTarget::new(idx, 2, 64, 8);
+
+        // Insert-heavy open-loop phase with a budget far beyond what can
+        // complete before the shutdown, so the stop really cuts it short.
+        let keys: Vec<u64> = (0..4_000u64).map(|i| i * 16).collect();
+        let scenario = Scenario::new("shutdown", 0xD1E, &keys).phase(Phase::new(
+            "cut-short",
+            Mix::points(1, 3, 0, 0),
+            KeyDist::Uniform,
+            Span::Ops(50_000_000),
+            Pacing::OpenLoop {
+                rate_ops_s: 40_000.0,
+            },
+        ));
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let driver = Driver::new()
+            .open_loop_senders(2)
+            .with_stop(Arc::clone(&stop));
+        let flag = Arc::clone(&stop);
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            flag.store(true, Ordering::Relaxed);
+        });
+        let result = driver.run(&scenario, &mut target);
+        killer.join().expect("killer thread");
+
+        let p = &result.phases[0];
+        assert!(p.ops() > 0, "{name}: some ops completed before shutdown");
+        assert!(
+            p.ops() < 50_000_000,
+            "{name}: the stop flag must cut the phase short"
+        );
+        // Reports only completed ops: every reported op carries a recorded
+        // latency (open loop times everything)…
+        assert_eq!(p.latency.total_count(), p.ops(), "{name}");
+        // …and loses no accepted ops: each reported new key landed, and
+        // nothing landed unreported (the flush drained all in-flight
+        // batches before the phase was declared over).
+        assert_eq!(
+            target.index().len() as u64,
+            bulk_len as u64 + p.tally.new_keys,
+            "{name}: store growth must match the reported new keys exactly"
+        );
+        assert_eq!(p.tally.errors, 0, "{name}");
     }
 }
 

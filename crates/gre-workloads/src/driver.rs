@@ -1,0 +1,771 @@
+//! The scenario driver: executes a [`Scenario`] against any serving target.
+//!
+//! The driver separates three concerns the old `run_concurrent` surface
+//! fused together:
+//!
+//! * **What** is offered — the scenario's phase script (see
+//!   [`scenario`](crate::scenario)).
+//! * **Where** it is served — anything implementing [`ServeTarget`]. A
+//!   blanket impl covers every bare [`ConcurrentIndex`] backend (including
+//!   the sharded composite); `gre-shard` adds targets for its batched
+//!   `ShardPipeline` and pipelined `Session` client paths.
+//! * **How** it is measured — per-phase, per-[`RequestKind`] latency
+//!   histograms plus an interval throughput series. Under
+//!   [`Pacing::OpenLoop`], latency is measured from each operation's
+//!   **intended** send time: a stalled server accrues the queueing delay it
+//!   caused (coordinated-omission-safe), instead of the closed-loop
+//!   behaviour where a stall simply stops the clock on new requests.
+//!
+//! One driver thread drives one [`Connection`]; targets decide what a
+//! connection means (direct calls, a batch buffer over a pipeline, a
+//! pipelined session window).
+
+use crate::runner::{LatencySummary, LATENCY_SAMPLE_RATE};
+use crate::scenario::{phase_stream, OpStream, Pacing, Phase, Scenario, Span};
+use crate::spec::Op;
+use gre_core::ops::RequestKind;
+use gre_core::{ConcurrentIndex, IndexMeta, KindLatency, Payload, Response};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default width of the interval throughput series.
+pub const DEFAULT_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Default number of sender threads for open-loop phases.
+pub const DEFAULT_OPEN_LOOP_SENDERS: usize = 4;
+
+/// Typed-response counters accumulated over a phase (the scenario-side
+/// analogue of `gre-shard`'s per-batch counter view).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Completed operations.
+    pub ops: u64,
+    /// Lookups that found their key.
+    pub hits: u64,
+    /// Inserts that created a new key.
+    pub new_keys: u64,
+    /// Updates that found their key.
+    pub updated: u64,
+    /// Removes that found their key.
+    pub removed: u64,
+    /// Keys returned by range scans.
+    pub scanned_keys: u64,
+    /// Operations rejected as unsupported by the target.
+    pub errors: u64,
+}
+
+impl Tally {
+    /// Record one typed response.
+    #[inline]
+    pub fn record(&mut self, response: &Response<u64>) {
+        self.ops += 1;
+        match response {
+            Response::Get(found) => self.hits += u64::from(found.is_some()),
+            Response::Insert(new) => self.new_keys += u64::from(*new),
+            Response::Update(hit) => self.updated += u64::from(*hit),
+            Response::Remove(removed) => self.removed += u64::from(removed.is_some()),
+            Response::Range(entries) => self.scanned_keys += entries.len() as u64,
+            Response::Error(_) => self.errors += 1,
+        }
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &Tally) {
+        self.ops += other.ops;
+        self.hits += other.hits;
+        self.new_keys += other.new_keys;
+        self.updated += other.updated;
+        self.removed += other.removed;
+        self.scanned_keys += other.scanned_keys;
+        self.errors += other.errors;
+    }
+}
+
+/// Per-thread measurement sink for one phase: kind-indexed latency
+/// histograms (from intended send time), typed-response counters, and the
+/// completions-per-interval series.
+pub struct PhaseRecorder {
+    phase_start: Instant,
+    interval_ns: u64,
+    latency: KindLatency,
+    tally: Tally,
+    intervals: Vec<u64>,
+    /// Interval of the most recent timestamped completion; untimed
+    /// (unsampled closed-loop) completions are attributed here.
+    last_bucket: usize,
+}
+
+impl PhaseRecorder {
+    pub fn new(phase_start: Instant, interval: Duration) -> PhaseRecorder {
+        PhaseRecorder {
+            phase_start,
+            interval_ns: interval.as_nanos().max(1) as u64,
+            latency: KindLatency::new(),
+            tally: Tally::default(),
+            intervals: Vec::new(),
+            last_bucket: 0,
+        }
+    }
+
+    /// Record a completion whose latency was measured: `intended` is the
+    /// intended send time, `now` the completion time.
+    #[inline]
+    pub fn complete_timed(
+        &mut self,
+        kind: RequestKind,
+        intended: Instant,
+        now: Instant,
+        response: &Response<u64>,
+    ) {
+        let ns = now.saturating_duration_since(intended).as_nanos() as u64;
+        self.latency.record(kind, ns);
+        let since_start = now.saturating_duration_since(self.phase_start).as_nanos() as u64;
+        self.last_bucket = (since_start / self.interval_ns) as usize;
+        self.bump_interval();
+        self.tally.record(response);
+    }
+
+    /// Record a completion without a timestamp (an unsampled closed-loop
+    /// op); attributed to the interval of the last timed completion.
+    #[inline]
+    pub fn complete_untimed(&mut self, response: &Response<u64>) {
+        self.bump_interval();
+        self.tally.record(response);
+    }
+
+    #[inline]
+    fn bump_interval(&mut self) {
+        if self.last_bucket >= self.intervals.len() {
+            self.intervals.resize(self.last_bucket + 1, 0);
+        }
+        self.intervals[self.last_bucket] += 1;
+    }
+
+    fn merge_into(self, latency: &mut KindLatency, tally: &mut Tally, intervals: &mut Vec<u64>) {
+        latency.merge(&self.latency);
+        tally.merge(&self.tally);
+        if intervals.len() < self.intervals.len() {
+            intervals.resize(self.intervals.len(), 0);
+        }
+        for (a, b) in intervals.iter_mut().zip(self.intervals.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Anything a scenario can be driven against.
+///
+/// Implementations exist for every bare [`ConcurrentIndex`] backend (the
+/// blanket impl below — this includes the sharded composite, whose routing
+/// then happens per op) and, in `gre-shard`, for the batched `ShardPipeline`
+/// and the pipelined `Session` client surface.
+pub trait ServeTarget: Sync {
+    /// Display name of the target configuration.
+    fn describe(&self) -> String;
+
+    /// Bulk load the initial entries. The driver calls this exactly once,
+    /// before the first phase (with an empty slice when the scenario loads
+    /// nothing).
+    fn load(&mut self, entries: &[(u64, Payload)]);
+
+    /// Open one client connection. The driver opens one per thread, inside
+    /// that thread.
+    fn connect(&self) -> Box<dyn Connection + '_>;
+
+    /// Keys currently stored (for post-run verification).
+    fn stored_len(&self) -> usize;
+
+    /// Bytes used by the underlying store, when the target can tell.
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// One driver thread's submission endpoint.
+///
+/// `submit` hands over one operation with an optional intended-send
+/// timestamp (present for every open-loop op and for sampled closed-loop
+/// ops); the connection reports each *completion* into the recorder —
+/// synchronously for direct targets, on batch completion for batched ones.
+/// `flush` must push out any buffered operations and wait out everything
+/// still in flight, so a phase's recorder sees every accepted op exactly
+/// once.
+pub trait Connection {
+    fn submit(&mut self, op: Op, intended: Option<Instant>, rec: &mut PhaseRecorder);
+    fn flush(&mut self, rec: &mut PhaseRecorder);
+}
+
+/// Direct connection to a bare concurrent index: every op executes
+/// synchronously on the calling thread through the typed request path.
+struct BareConn<'a, I: ConcurrentIndex<u64> + ?Sized> {
+    index: &'a I,
+    meta: IndexMeta,
+}
+
+impl<I: ConcurrentIndex<u64> + ?Sized> Connection for BareConn<'_, I> {
+    #[inline]
+    fn submit(&mut self, op: Op, intended: Option<Instant>, rec: &mut PhaseRecorder) {
+        let response = op.execute(self.index, &self.meta);
+        match intended {
+            Some(t0) => rec.complete_timed(op.kind(), t0, Instant::now(), &response),
+            None => rec.complete_untimed(&response),
+        }
+    }
+
+    fn flush(&mut self, _rec: &mut PhaseRecorder) {}
+}
+
+/// Every concurrent index is directly drivable: the "bare backend" serving
+/// path, where each driver thread calls the index synchronously.
+impl<I: ConcurrentIndex<u64> + ?Sized> ServeTarget for I {
+    fn describe(&self) -> String {
+        self.meta().name.to_string()
+    }
+
+    fn load(&mut self, entries: &[(u64, Payload)]) {
+        self.bulk_load(entries);
+    }
+
+    fn connect(&self) -> Box<dyn Connection + '_> {
+        Box::new(BareConn {
+            index: self,
+            meta: self.meta(),
+        })
+    }
+
+    fn stored_len(&self) -> usize {
+        ConcurrentIndex::len(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.memory_usage()
+    }
+}
+
+/// Executes scenarios against serving targets.
+///
+/// Construction is builder-style; the defaults measure like the old runner
+/// (1-in-101 latency sampling under closed loop) while open-loop phases
+/// always time every operation from its intended send time.
+#[derive(Debug, Clone)]
+pub struct Driver {
+    sample_stride: usize,
+    open_loop_senders: usize,
+    interval: Duration,
+    stop: Option<Arc<AtomicBool>>,
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Driver {
+            sample_stride: LATENCY_SAMPLE_RATE,
+            open_loop_senders: DEFAULT_OPEN_LOOP_SENDERS,
+            interval: DEFAULT_INTERVAL,
+            stop: None,
+        }
+    }
+}
+
+impl Driver {
+    pub fn new() -> Driver {
+        Driver::default()
+    }
+
+    /// Closed-loop latency sampling stride (1 = time every op). Open-loop
+    /// phases ignore this: they time everything, because their latency
+    /// origin (the intended send time) is computed, not measured.
+    pub fn sample_stride(mut self, stride: usize) -> Driver {
+        self.sample_stride = stride.max(1);
+        self
+    }
+
+    /// Sender threads used by open-loop phases (the offered rate is split
+    /// evenly across them).
+    pub fn open_loop_senders(mut self, senders: usize) -> Driver {
+        self.open_loop_senders = senders.max(1);
+        self
+    }
+
+    /// Width of the interval throughput series.
+    pub fn interval(mut self, interval: Duration) -> Driver {
+        self.interval = interval;
+        self
+    }
+
+    /// Cooperative shutdown: when `flag` becomes true the driver stops
+    /// submitting, flushes in-flight work, and reports only completed ops.
+    pub fn with_stop(mut self, flag: Arc<AtomicBool>) -> Driver {
+        self.stop = Some(flag);
+        self
+    }
+
+    #[inline]
+    fn stopped(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Execute `scenario` against `target`: bulk load, then run each phase
+    /// in script order.
+    pub fn run<T: ServeTarget + ?Sized>(
+        &self,
+        scenario: &Scenario,
+        target: &mut T,
+    ) -> ScenarioResult {
+        let load_timer = Instant::now();
+        target.load(&scenario.bulk);
+        let bulk_load_ns = load_timer.elapsed().as_nanos() as u64;
+        let keys = Arc::new(scenario.loaded_keys());
+        let mut phases = Vec::with_capacity(scenario.phases.len());
+        for (pi, phase) in scenario.phases.iter().enumerate() {
+            if self.stopped() {
+                break;
+            }
+            phases.push(self.run_phase(scenario, &keys, pi, phase, &*target));
+        }
+        ScenarioResult {
+            scenario: scenario.name.clone(),
+            target: target.describe(),
+            bulk_load_ns,
+            phases,
+        }
+    }
+
+    fn run_phase<T: ServeTarget + ?Sized>(
+        &self,
+        scenario: &Scenario,
+        keys: &Arc<Vec<u64>>,
+        phase_idx: usize,
+        phase: &Phase,
+        target: &T,
+    ) -> PhaseResult {
+        let threads = match phase.pacing {
+            Pacing::ClosedLoop { threads } => threads.max(1),
+            Pacing::OpenLoop { .. } => self.open_loop_senders.max(1),
+        };
+        // Per-thread op budgets: an even split for op-count spans,
+        // unbounded for time spans.
+        let budgets: Vec<u64> = match phase.span {
+            Span::Ops(n) => {
+                let base = n / threads as u64;
+                let extra = (n % threads as u64) as usize;
+                (0..threads).map(|t| base + u64::from(t < extra)).collect()
+            }
+            Span::Time(_) => vec![u64::MAX; threads],
+        };
+        let start = Instant::now();
+        let deadline = match phase.span {
+            Span::Time(d) => Some(start + d),
+            Span::Ops(_) => None,
+        };
+
+        let recorders: Vec<PhaseRecorder> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let budget = budgets[t];
+                    scope.spawn(move || {
+                        let mut stream = phase_stream(scenario, keys, phase_idx, phase, t, threads);
+                        let mut conn = target.connect();
+                        let mut rec = PhaseRecorder::new(start, self.interval);
+                        match phase.pacing {
+                            Pacing::ClosedLoop { .. } => self.closed_loop(
+                                stream.as_mut(),
+                                conn.as_mut(),
+                                &mut rec,
+                                budget,
+                                deadline,
+                            ),
+                            Pacing::OpenLoop { rate_ops_s } => self.open_loop(
+                                stream.as_mut(),
+                                conn.as_mut(),
+                                &mut rec,
+                                budget,
+                                deadline,
+                                start,
+                                rate_ops_s / threads as f64,
+                            ),
+                        }
+                        conn.flush(&mut rec);
+                        rec
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("driver thread panicked"))
+                .collect()
+        });
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+
+        let mut latency = KindLatency::new();
+        let mut tally = Tally::default();
+        let mut intervals = Vec::new();
+        for rec in recorders {
+            rec.merge_into(&mut latency, &mut tally, &mut intervals);
+        }
+        PhaseResult {
+            phase: phase.name.clone(),
+            threads,
+            offered_rate: phase.offered_rate(),
+            elapsed_ns,
+            tally,
+            latency,
+            intervals,
+            interval_ns: self.interval.as_nanos().max(1) as u64,
+        }
+    }
+
+    fn closed_loop(
+        &self,
+        stream: &mut dyn OpStream,
+        conn: &mut dyn Connection,
+        rec: &mut PhaseRecorder,
+        budget: u64,
+        deadline: Option<Instant>,
+    ) {
+        let stride = self.sample_stride as u64;
+        let mut i = 0u64;
+        while i < budget {
+            let sampled = i % stride == 0;
+            if sampled {
+                // Stop/deadline checks ride the sampling stride so the
+                // common path stays clock-free.
+                if self.stopped() || deadline.is_some_and(|d| Instant::now() >= d) {
+                    break;
+                }
+            }
+            let Some(op) = stream.next_op() else { break };
+            let intended = if sampled { Some(Instant::now()) } else { None };
+            conn.submit(op, intended, rec);
+            i += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn open_loop(
+        &self,
+        stream: &mut dyn OpStream,
+        conn: &mut dyn Connection,
+        rec: &mut PhaseRecorder,
+        budget: u64,
+        deadline: Option<Instant>,
+        start: Instant,
+        rate_ops_s: f64,
+    ) {
+        let tick = 1.0 / rate_ops_s.max(1e-6);
+        let mut i = 0u64;
+        while i < budget {
+            if i % 64 == 0 && self.stopped() {
+                break;
+            }
+            let intended = start + Duration::from_secs_f64(i as f64 * tick);
+            if deadline.is_some_and(|d| intended >= d) {
+                break;
+            }
+            // Hold to the schedule; when behind, send immediately — the
+            // intended stamp still charges the slip to latency.
+            loop {
+                let now = Instant::now();
+                if now >= intended {
+                    break;
+                }
+                let wait = intended - now;
+                if wait > Duration::from_micros(200) {
+                    std::thread::sleep(wait - Duration::from_micros(100));
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            let Some(op) = stream.next_op() else { break };
+            conn.submit(op, Some(intended), rec);
+            i += 1;
+        }
+    }
+}
+
+/// Measurements of one executed phase.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    pub phase: String,
+    /// Driver threads (clients for closed loop, senders for open loop).
+    pub threads: usize,
+    /// Requested rate for open-loop phases.
+    pub offered_rate: Option<f64>,
+    /// Wall-clock time of the phase including the final drain, ns.
+    pub elapsed_ns: u64,
+    /// Typed-response counters over every completed op.
+    pub tally: Tally,
+    /// Kind-indexed latency histograms, measured from intended send time.
+    pub latency: KindLatency,
+    /// Completions per interval (coarse throughput-over-time series).
+    pub intervals: Vec<u64>,
+    /// Width of one interval, ns.
+    pub interval_ns: u64,
+}
+
+impl PhaseResult {
+    /// Completed operations.
+    pub fn ops(&self) -> u64 {
+        self.tally.ops
+    }
+
+    /// Throughput in million completed ops per second.
+    pub fn throughput_mops(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.tally.ops as f64 / (self.elapsed_ns as f64 / 1e9) / 1e6
+    }
+
+    /// Achieved delivery rate in ops/s (compare against
+    /// [`offered_rate`](PhaseResult::offered_rate) for open-loop phases).
+    pub fn achieved_rate(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.tally.ops as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    /// Latency summary of one request kind.
+    pub fn kind_summary(&self, kind: RequestKind) -> LatencySummary {
+        LatencySummary::from_histogram(self.latency.get(kind))
+    }
+
+    /// Merged read-side (get + range) latency summary.
+    pub fn read_summary(&self) -> LatencySummary {
+        LatencySummary::from_histogram(
+            &self.latency.merged(&[RequestKind::Get, RequestKind::Range]),
+        )
+    }
+
+    /// Merged write-side (insert + update + remove) latency summary.
+    pub fn write_summary(&self) -> LatencySummary {
+        LatencySummary::from_histogram(&self.latency.merged(&[
+            RequestKind::Insert,
+            RequestKind::Update,
+            RequestKind::Remove,
+        ]))
+    }
+}
+
+/// Measurements of one full scenario run against one target.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    pub scenario: String,
+    pub target: String,
+    pub bulk_load_ns: u64,
+    pub phases: Vec<PhaseResult>,
+}
+
+impl ScenarioResult {
+    /// Total completed operations across all phases.
+    pub fn total_ops(&self) -> u64 {
+        self.phases.iter().map(|p| p.tally.ops).sum()
+    }
+
+    /// Look up a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseResult> {
+        self.phases.iter().find(|p| p.phase == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{KeyDist, Mix};
+    use gre_core::index::MutexIndex;
+    use gre_core::{Index, RangeSpec};
+    use std::collections::BTreeMap;
+
+    #[derive(Default)]
+    struct MapIndex {
+        map: BTreeMap<u64, Payload>,
+    }
+
+    impl Index<u64> for MapIndex {
+        fn bulk_load(&mut self, entries: &[(u64, Payload)]) {
+            self.map = entries.iter().copied().collect();
+        }
+        fn get(&self, key: u64) -> Option<Payload> {
+            self.map.get(&key).copied()
+        }
+        fn insert(&mut self, key: u64, value: Payload) -> bool {
+            self.map.insert(key, value).is_none()
+        }
+        fn update(&mut self, key: u64, value: Payload) -> bool {
+            match self.map.get_mut(&key) {
+                Some(v) => {
+                    *v = value;
+                    true
+                }
+                None => false,
+            }
+        }
+        fn remove(&mut self, key: u64) -> Option<Payload> {
+            self.map.remove(&key)
+        }
+        fn range(&self, spec: RangeSpec<u64>, out: &mut Vec<(u64, Payload)>) -> usize {
+            let before = out.len();
+            out.extend(
+                self.map
+                    .range(spec.start..)
+                    .take_while(|(k, _)| spec.end.map_or(true, |e| **k <= e))
+                    .take(spec.count)
+                    .map(|(k, v)| (*k, *v)),
+            );
+            out.len() - before
+        }
+        fn len(&self) -> usize {
+            self.map.len()
+        }
+        fn memory_usage(&self) -> usize {
+            self.map.len() * 48
+        }
+        fn meta(&self) -> gre_core::IndexMeta {
+            gre_core::IndexMeta {
+                name: "map",
+                learned: false,
+                concurrent: false,
+                supports_delete: true,
+                supports_range: true,
+            }
+        }
+    }
+
+    fn keys(n: u64) -> Vec<u64> {
+        (1..=n).map(|i| i * 13).collect()
+    }
+
+    #[test]
+    fn closed_loop_scenario_runs_to_the_op_budget() {
+        let scenario = Scenario::new("t", 1, &keys(2_000)).phase(Phase::new(
+            "p0",
+            Mix::read_only(),
+            KeyDist::Uniform,
+            Span::Ops(5_000),
+            Pacing::ClosedLoop { threads: 3 },
+        ));
+        let mut index = MutexIndex::new(MapIndex::default(), "map-mutex");
+        let result = Driver::new().sample_stride(7).run(&scenario, &mut index);
+        assert_eq!(result.target, "map-mutex");
+        assert_eq!(result.phases.len(), 1);
+        let p = &result.phases[0];
+        assert_eq!(p.ops(), 5_000);
+        assert_eq!(p.tally.hits, 5_000, "read-only over loaded keys all hit");
+        assert_eq!(p.threads, 3);
+        assert!(p.throughput_mops() > 0.0);
+        assert!(p.latency.get(RequestKind::Get).count() > 0);
+        assert_eq!(p.latency.get(RequestKind::Insert).count(), 0);
+        assert!(p.read_summary().samples > 0);
+        assert!(!p.intervals.is_empty());
+        assert_eq!(p.intervals.iter().sum::<u64>(), 5_000);
+        assert_eq!(result.total_ops(), 5_000);
+        assert!(result.phase("p0").is_some() && result.phase("nope").is_none());
+    }
+
+    #[test]
+    fn mixed_phase_tallies_typed_outcomes() {
+        let scenario = Scenario::new("t", 2, &keys(2_000)).phase(Phase::new(
+            "mixed",
+            Mix::points(2, 1, 1, 0).with_range(1, 10),
+            KeyDist::Uniform,
+            Span::Ops(4_000),
+            Pacing::ClosedLoop { threads: 2 },
+        ));
+        let mut index = MutexIndex::new(MapIndex::default(), "map-mutex");
+        let result = Driver::new().run(&scenario, &mut index);
+        let p = &result.phases[0];
+        assert_eq!(p.ops(), 4_000);
+        assert!(p.tally.hits > 0);
+        assert!(p.tally.new_keys > 0);
+        assert!(p.tally.updated > 0);
+        assert!(p.tally.scanned_keys > 0);
+        assert_eq!(p.tally.errors, 0);
+        // Inserted keys really landed.
+        assert_eq!(
+            ServeTarget::stored_len(&index) as u64,
+            2_000 + p.tally.new_keys
+        );
+    }
+
+    #[test]
+    fn open_loop_phase_holds_the_offered_rate() {
+        let scenario = Scenario::new("t", 3, &keys(2_000)).phase(Phase::new(
+            "paced",
+            Mix::read_only(),
+            KeyDist::Uniform,
+            Span::Ops(2_000),
+            Pacing::OpenLoop {
+                rate_ops_s: 20_000.0,
+            },
+        ));
+        let mut index = MutexIndex::new(MapIndex::default(), "map-mutex");
+        let result = Driver::new()
+            .open_loop_senders(2)
+            .run(&scenario, &mut index);
+        let p = &result.phases[0];
+        assert_eq!(p.ops(), 2_000);
+        assert_eq!(p.offered_rate, Some(20_000.0));
+        assert_eq!(p.threads, 2);
+        // Every open-loop op is timed from its intended send time.
+        assert_eq!(p.latency.total_count(), 2_000);
+        let achieved = p.achieved_rate();
+        assert!(
+            (achieved - 20_000.0).abs() / 20_000.0 < 0.25,
+            "achieved {achieved:.0} ops/s vs offered 20000"
+        );
+    }
+
+    #[test]
+    fn time_span_and_stop_flag_end_phases_early() {
+        let scenario = Scenario::new("t", 4, &keys(1_000))
+            .phase(Phase::new(
+                "timed",
+                Mix::read_only(),
+                KeyDist::Uniform,
+                Span::Time(Duration::from_millis(30)),
+                Pacing::ClosedLoop { threads: 2 },
+            ))
+            .phase(Phase::new(
+                "never-entered",
+                Mix::read_only(),
+                KeyDist::Uniform,
+                Span::Ops(1_000_000),
+                Pacing::ClosedLoop { threads: 2 },
+            ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut index = MutexIndex::new(MapIndex::default(), "map-mutex");
+        let driver = Driver::new().with_stop(Arc::clone(&stop));
+        let flag = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            flag.store(true, Ordering::Relaxed);
+        });
+        let result = driver.run(&scenario, &mut index);
+        // The timed phase ended by deadline; the second phase was cut off by
+        // the stop flag long before its 1M-op budget.
+        assert!(!result.phases.is_empty());
+        let timed = &result.phases[0];
+        assert!(timed.ops() > 0);
+        assert!(timed.elapsed_ns >= 25_000_000, "ran for the deadline");
+        if let Some(second) = result.phases.get(1) {
+            assert!(second.ops() < 1_000_000, "stop flag cut the phase short");
+        }
+    }
+
+    #[test]
+    fn replay_scenario_reproduces_workload_semantics() {
+        use crate::generate::WorkloadBuilder;
+        use crate::spec::WriteRatio;
+        let w = WorkloadBuilder::new(9).insert_workload("t", &keys(2_000), WriteRatio::Balanced);
+        let scenario = Scenario::from_workload(&w, Pacing::ClosedLoop { threads: 4 });
+        let mut index = MutexIndex::new(MapIndex::default(), "map-mutex");
+        let result = Driver::new().run(&scenario, &mut index);
+        let p = &result.phases[0];
+        assert_eq!(p.ops() as usize, w.ops.len());
+        // All remaining keys were inserted: the store holds every key.
+        assert_eq!(ServeTarget::stored_len(&index), 2_000);
+    }
+}

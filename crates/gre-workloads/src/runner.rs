@@ -1,14 +1,34 @@
-//! Workload execution and measurement.
+//! Workload execution and measurement — the materialized-[`Workload`]
+//! compatibility surface over the scenario engine.
 //!
-//! The harness executes a [`Workload`] against an index and reports
-//! throughput plus tail latency. Latencies are sampled from 1% of the
-//! operations (as in §6.1) to keep the measurement overhead negligible.
-//! Multi-threaded runs split the request stream evenly across threads, which
-//! matches the paper's setup of independent client threads hammering the
-//! index.
+//! # MIGRATION
+//!
+//! The pre-materialized `Vec<Op>` workload path is now a thin adapter over
+//! the typed scenario engine:
+//!
+//! * [`run_concurrent`] wraps the workload in a one-phase replay
+//!   [`Scenario`] (closed loop, contiguous
+//!   per-thread chunks — the exact execution shape it always had) and
+//!   executes it through the [`Driver`], then folds
+//!   the phase measurements back into the stable [`RunResult`] shape.
+//! * New code should describe traffic as a `Scenario` (mix + key
+//!   distribution + span + pacing per phase) and call `Driver::run`
+//!   directly: that unlocks multi-phase scripts, open-loop pacing with
+//!   coordinated-omission-safe latency, per-kind histograms, and the
+//!   non-bare serving targets (`ShardPipeline`/`Session` in `gre-shard`).
+//! * [`run_single`] keeps its direct loop: single-threaded indexes
+//!   (`Index`, `&mut self`) sit outside the concurrent `ServeTarget`
+//!   surface.
+//!
+//! Latencies on the closed-loop paths are sampled (1 op in
+//! [`LATENCY_SAMPLE_RATE`], as in §6.1) to keep measurement overhead
+//! negligible; [`RunResult`] now carries per-[`OpKind`] summaries next to
+//! the merged read/write views so read and write tails stay separable.
 
+use crate::driver::Driver;
+use crate::scenario::{Pacing, Scenario};
 use crate::spec::{Op, OpKind, Workload};
-use gre_core::{ConcurrentIndex, Index};
+use gre_core::{ConcurrentIndex, Index, KindLatency, LatencyHistogram};
 use std::time::Instant;
 
 /// Fraction of operations whose latency is sampled: one in every N ops.
@@ -56,14 +76,76 @@ impl LatencySummary {
             std_ns: var.sqrt(),
         }
     }
+
+    /// Build a summary from a recorded histogram (the scenario driver's
+    /// representation; percentiles carry the histogram's ~3% bucket
+    /// resolution, mean and max are exact).
+    pub fn from_histogram(hist: &LatencyHistogram) -> Self {
+        if hist.is_empty() {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            samples: hist.count() as usize,
+            mean_ns: hist.mean(),
+            p50_ns: hist.percentile(0.50),
+            p99_ns: hist.percentile(0.99),
+            p999_ns: hist.percentile(0.999),
+            max_ns: hist.max(),
+            std_ns: hist.std_dev(),
+        }
+    }
 }
 
+/// The `p`-quantile of an ascending-sorted sample set, with linear
+/// interpolation between the two straddling ranks (the nearest-rank
+/// `.round()` this replaces biased p999 low on small sample sets, where the
+/// rounded rank collapses onto an interior sample).
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let rank = (sorted.len() - 1) as f64 * p.clamp(0.0, 1.0);
+    let lo = rank.floor() as usize;
+    let hi = (rank.ceil() as usize).min(sorted.len() - 1);
+    if lo == hi {
+        return sorted[lo];
+    }
+    let frac = rank - lo as f64;
+    (sorted[lo] as f64 + (sorted[hi] - sorted[lo]) as f64 * frac).round() as u64
+}
+
+/// Per-[`OpKind`] latency summaries (Get vs Insert vs Update vs Remove vs
+/// Range), so read and write tails are separable in every report.
+#[derive(Debug, Clone, Default)]
+pub struct KindSummaries([LatencySummary; OpKind::COUNT]);
+
+impl KindSummaries {
+    /// The summary for one kind.
+    pub fn get(&self, kind: OpKind) -> &LatencySummary {
+        &self.0[kind.index()]
+    }
+
+    /// Build from per-kind raw sample vectors.
+    pub fn from_samples(per_kind: [Vec<u64>; OpKind::COUNT]) -> Self {
+        KindSummaries(per_kind.map(LatencySummary::from_samples))
+    }
+
+    /// Build from a kind-indexed histogram recorder.
+    pub fn from_kind_latency(latency: &KindLatency) -> Self {
+        let mut out = KindSummaries::default();
+        for (kind, hist) in latency.iter() {
+            out.0[kind.index()] = LatencySummary::from_histogram(hist);
+        }
+        out
+    }
+
+    /// Iterate `(kind, summary)` pairs for kinds that recorded any samples.
+    pub fn iter_nonempty(&self) -> impl Iterator<Item = (OpKind, &LatencySummary)> {
+        OpKind::ALL
+            .iter()
+            .map(|&k| (k, self.get(k)))
+            .filter(|(_, s)| s.samples > 0)
+    }
 }
 
 /// The result of executing one workload on one index.
@@ -89,6 +171,9 @@ pub struct RunResult {
     pub read_latency: LatencySummary,
     /// Write (insert/update/remove) latency summary (sampled).
     pub write_latency: LatencySummary,
+    /// Per-kind latency summaries (sampled), separating Get / Insert /
+    /// Update / Remove / Range tails.
+    pub kind_latency: KindSummaries,
     /// End-to-end index memory after the run, in bytes.
     pub memory_bytes: usize,
 }
@@ -120,8 +205,7 @@ pub fn run_single<I: Index<u64> + ?Sized>(index: &mut I, workload: &Workload) ->
 
     let mut hits = 0usize;
     let mut scanned = 0usize;
-    let mut read_samples = Vec::new();
-    let mut write_samples = Vec::new();
+    let mut kind_samples: [Vec<u64>; OpKind::COUNT] = Default::default();
     let mut scan_buf: Vec<(u64, u64)> = Vec::new();
 
     let timer = Instant::now();
@@ -150,13 +234,22 @@ pub fn run_single<I: Index<u64> + ?Sized>(index: &mut I, workload: &Workload) ->
         }
         if let Some(start) = start {
             let ns = start.elapsed().as_nanos() as u64;
-            match op.kind() {
-                OpKind::Get | OpKind::Range => read_samples.push(ns),
-                _ => write_samples.push(ns),
-            }
+            kind_samples[op.kind().index()].push(ns);
         }
     }
     let elapsed_ns = timer.elapsed().as_nanos() as u64;
+
+    let read_samples: Vec<u64> = kind_samples[OpKind::Get.index()]
+        .iter()
+        .chain(kind_samples[OpKind::Range.index()].iter())
+        .copied()
+        .collect();
+    let write_samples: Vec<u64> = kind_samples[OpKind::Insert.index()]
+        .iter()
+        .chain(kind_samples[OpKind::Update.index()].iter())
+        .chain(kind_samples[OpKind::Remove.index()].iter())
+        .copied()
+        .collect();
 
     RunResult {
         index: index.meta().name.to_string(),
@@ -169,6 +262,7 @@ pub fn run_single<I: Index<u64> + ?Sized>(index: &mut I, workload: &Workload) ->
         scanned_keys: scanned,
         read_latency: LatencySummary::from_samples(read_samples),
         write_latency: LatencySummary::from_samples(write_samples),
+        kind_latency: KindSummaries::from_samples(kind_samples),
         memory_bytes: index.memory_usage(),
     }
 }
@@ -177,108 +271,33 @@ pub fn run_single<I: Index<u64> + ?Sized>(index: &mut I, workload: &Workload) ->
 ///
 /// The request stream is split into `threads` contiguous chunks; each thread
 /// executes its chunk independently (the paper's client threads likewise
-/// issue independent request streams).
+/// issue independent request streams). This is the migration adapter over
+/// the scenario engine: a one-phase closed-loop replay scenario driven
+/// against the bare backend (see the module-level MIGRATION note).
 pub fn run_concurrent<I: ConcurrentIndex<u64> + ?Sized>(
     index: &mut I,
     workload: &Workload,
     threads: usize,
 ) -> RunResult {
     let threads = threads.max(1);
-    let bulk_timer = Instant::now();
-    index.bulk_load(&workload.bulk);
-    let bulk_load_ns = bulk_timer.elapsed().as_nanos() as u64;
-
-    let chunk_size = workload.ops.len().div_ceil(threads).max(1);
-    let chunks: Vec<&[Op]> = workload.ops.chunks(chunk_size).collect();
-
-    struct ThreadOutcome {
-        hits: usize,
-        scanned: usize,
-        read_samples: Vec<u64>,
-        write_samples: Vec<u64>,
-    }
-
-    let shared: &I = index;
-    let timer = Instant::now();
-    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut hits = 0usize;
-                    let mut scanned = 0usize;
-                    let mut read_samples = Vec::new();
-                    let mut write_samples = Vec::new();
-                    let mut scan_buf: Vec<(u64, u64)> = Vec::new();
-                    for (i, op) in chunk.iter().enumerate() {
-                        let sample = i % LATENCY_SAMPLE_RATE == 0;
-                        let start = if sample { Some(Instant::now()) } else { None };
-                        match *op {
-                            Op::Get(k) => {
-                                if shared.get(k).is_some() {
-                                    hits += 1;
-                                }
-                            }
-                            Op::Insert(k, v) => {
-                                shared.insert(k, v);
-                            }
-                            Op::Update(k, v) => {
-                                shared.update(k, v);
-                            }
-                            Op::Remove(k) => {
-                                shared.remove(k);
-                            }
-                            Op::Range(spec) => {
-                                scan_buf.clear();
-                                scanned += shared.range(spec, &mut scan_buf);
-                            }
-                        }
-                        if let Some(start) = start {
-                            let ns = start.elapsed().as_nanos() as u64;
-                            match op.kind() {
-                                OpKind::Get | OpKind::Range => read_samples.push(ns),
-                                _ => write_samples.push(ns),
-                            }
-                        }
-                    }
-                    ThreadOutcome {
-                        hits,
-                        scanned,
-                        read_samples,
-                        write_samples,
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
-    let elapsed_ns = timer.elapsed().as_nanos() as u64;
-
-    let mut hits = 0;
-    let mut scanned = 0;
-    let mut read_samples = Vec::new();
-    let mut write_samples = Vec::new();
-    for o in outcomes {
-        hits += o.hits;
-        scanned += o.scanned;
-        read_samples.extend(o.read_samples);
-        write_samples.extend(o.write_samples);
-    }
-
+    let scenario = Scenario::from_workload(workload, Pacing::ClosedLoop { threads });
+    let result = Driver::new().run(&scenario, index);
+    let phase = result
+        .phases
+        .first()
+        .expect("one-phase replay scenario produced a phase");
     RunResult {
-        index: index.meta().name.to_string(),
+        index: result.target.clone(),
         workload: workload.name.clone(),
         threads,
-        ops: workload.ops.len(),
-        elapsed_ns,
-        bulk_load_ns,
-        hits,
-        scanned_keys: scanned,
-        read_latency: LatencySummary::from_samples(read_samples),
-        write_latency: LatencySummary::from_samples(write_samples),
+        ops: phase.ops() as usize,
+        elapsed_ns: phase.elapsed_ns,
+        bulk_load_ns: result.bulk_load_ns,
+        hits: phase.tally.hits as usize,
+        scanned_keys: phase.tally.scanned_keys as usize,
+        read_latency: phase.read_summary(),
+        write_latency: phase.write_summary(),
+        kind_latency: KindSummaries::from_kind_latency(&phase.latency),
         memory_bytes: index.memory_usage(),
     }
 }
@@ -353,6 +372,10 @@ mod tests {
         assert!(r.throughput_mops() > 0.0);
         assert!(r.memory_bytes > 0);
         assert_eq!(r.threads, 1);
+        // Per-kind view: everything landed under Get.
+        assert!(r.kind_latency.get(OpKind::Get).samples > 0);
+        assert_eq!(r.kind_latency.get(OpKind::Insert).samples, 0);
+        assert_eq!(r.kind_latency.iter_nonempty().count(), 1);
     }
 
     #[test]
@@ -361,8 +384,18 @@ mod tests {
         let all = keys(2000);
         let w = b.insert_workload("test", &all, WriteRatio::Balanced);
         let mut idx = MapIndex::default();
-        run_single(&mut idx, &w);
+        let r = run_single(&mut idx, &w);
         assert_eq!(idx.len(), all.len());
+        // Both kinds sampled, and the per-kind split is consistent with the
+        // merged read/write views.
+        assert_eq!(
+            r.kind_latency.get(OpKind::Get).samples,
+            r.read_latency.samples
+        );
+        assert_eq!(
+            r.kind_latency.get(OpKind::Insert).samples,
+            r.write_latency.samples
+        );
     }
 
     #[test]
@@ -373,6 +406,7 @@ mod tests {
         let r = run_single(&mut idx, &w);
         assert!(r.scanned_keys > 0);
         assert!(r.scan_throughput_mkeys() > 0.0);
+        assert!(r.kind_latency.get(OpKind::Range).samples > 0);
     }
 
     #[test]
@@ -383,9 +417,36 @@ mod tests {
         let mut conc = MutexIndex::new(MapIndex::default(), "map-mutex");
         let r = run_concurrent(&mut conc, &w, 4);
         assert_eq!(r.threads, 4);
+        assert_eq!(r.ops, w.ops.len());
         assert_eq!(ConcurrentIndex::len(&conc), all.len());
+        assert_eq!(r.index, "map-mutex");
         assert!(r.read_latency.samples > 0);
         assert!(r.write_latency.samples > 0);
+        assert!(r.kind_latency.get(OpKind::Get).samples > 0);
+        assert!(r.kind_latency.get(OpKind::Insert).samples > 0);
+        assert!(r.memory_bytes > 0);
+    }
+
+    #[test]
+    fn concurrent_run_executes_every_op_when_threads_do_not_divide() {
+        // Regression: the replay chunking must agree with the driver's
+        // per-thread op budgets, or the tail of a chunk is silently
+        // dropped (10 ops over 4 threads used to execute only 9).
+        for (n, threads) in [(10u64, 4usize), (103, 4), (13, 4), (2_001, 7)] {
+            let w = Workload {
+                name: "odd".into(),
+                bulk: vec![(1, 1)],
+                ops: (0..n).map(|i| Op::Insert(1_000 + i, i)).collect(),
+            };
+            let mut conc = MutexIndex::new(MapIndex::default(), "map-mutex");
+            let r = run_concurrent(&mut conc, &w, threads);
+            assert_eq!(r.ops as u64, n, "{n} ops / {threads} threads");
+            assert_eq!(
+                ConcurrentIndex::len(&conc) as u64,
+                1 + n,
+                "{n} ops / {threads} threads: every insert must land"
+            );
+        }
     }
 
     #[test]
@@ -399,6 +460,62 @@ mod tests {
         let empty = LatencySummary::from_samples(vec![]);
         assert_eq!(empty.samples, 0);
         assert_eq!(empty.p999_ns, 0);
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        // Ten evenly spaced samples: p50 sits exactly between ranks 4 and 5.
+        let samples: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+        assert_eq!(percentile(&samples, 0.50), 55);
+        assert_eq!(percentile(&samples, 0.0), 10);
+        assert_eq!(percentile(&samples, 1.0), 100);
+        // p25 rank = 2.25 → 30 + 0.25 * 10 = 32.5 → 33 (round half up).
+        assert_eq!(percentile(&samples, 0.25), 33);
+
+        // The motivating case: a 10-sample set with one outlier. The old
+        // nearest-rank round() collapsed p999 (rank 8.991) onto the 1000
+        // outlier only via rounding to rank 9; interpolation instead blends
+        // 90 and 1000: 90 + 0.991 * 910 = 991.81 → 992.
+        let skewed = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 1000];
+        assert_eq!(percentile(&skewed, 0.999), 992);
+        // p99 rank = 8.91 → 90 + 0.91 * 910 = 918.1 → 918 (the old code
+        // reported the raw 1000 here, overstating p99 by 9%).
+        assert_eq!(percentile(&skewed, 0.99), 918);
+
+        // Exact ranks are returned untouched, and the summary fields stay
+        // consistent with the function.
+        let s = LatencySummary::from_samples(skewed.clone());
+        assert_eq!(s.p50_ns, 55);
+        assert_eq!(s.p99_ns, 918);
+        assert_eq!(s.p999_ns, 992);
+        assert_eq!(percentile(&[42], 0.999), 42);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn summary_from_histogram_matches_samples_within_resolution() {
+        let samples: Vec<u64> = (1..=10_000u64).map(|i| i * 7).collect();
+        let mut hist = LatencyHistogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let from_samples = LatencySummary::from_samples(samples);
+        let from_hist = LatencySummary::from_histogram(&hist);
+        assert_eq!(from_hist.samples, from_samples.samples);
+        assert_eq!(from_hist.max_ns, from_samples.max_ns);
+        assert!((from_hist.mean_ns - from_samples.mean_ns).abs() < 1e-6);
+        for (a, b) in [
+            (from_hist.p50_ns, from_samples.p50_ns),
+            (from_hist.p99_ns, from_samples.p99_ns),
+            (from_hist.p999_ns, from_samples.p999_ns),
+        ] {
+            let rel = (a as f64 - b as f64).abs() / b as f64;
+            assert!(rel < 0.05, "histogram {a} vs samples {b}");
+        }
+        assert_eq!(
+            LatencySummary::from_histogram(&LatencyHistogram::new()).samples,
+            0
+        );
     }
 
     #[test]

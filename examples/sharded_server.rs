@@ -1,31 +1,34 @@
 //! A sharded key-value "server": the `gre-shard` serving layer over ALEX+,
-//! taking batched requests from several client threads through the typed
-//! request/response client API.
+//! serving scripted scenario traffic through the typed client API.
 //!
-//! Demonstrates the full serving stack: the typed `IndexBuilder`
-//! configuration surface, range partitioner fitted from the loaded key CDF,
-//! per-shard backends, `Session`s pipelining batches with FIFO completion,
-//! per-op `Response` values (not just counters), a non-blocking
-//! `SubmitHandle` polled to completion without ever calling `wait()`, and
-//! cross-shard bounded range scans.
+//! Demonstrates the full serving stack in two acts:
+//!
+//! 1. The raw client surface: the typed `IndexBuilder` configuration, a
+//!    `ShardPipeline` answering per-op `Response` values through a
+//!    non-blocking `SubmitHandle` polled to completion without ever calling
+//!    `wait()`, and cross-shard bounded range scans.
+//! 2. The scenario engine: a two-phase `Scenario` (closed-loop read-mostly
+//!    churn, then an open-loop write burst at a fixed arrival rate)
+//!    executed by the `Driver` against a `SessionTarget` — pipelined
+//!    `Session`s per driver thread — with per-phase throughput and
+//!    coordinated-omission-safe tail latency.
 //!
 //! Run with `cargo run --release --example sharded_server`.
 
-use gre::shard::{OpBatch, Session, ShardPipeline};
+use gre::shard::{OpBatch, SessionTarget, ShardPipeline};
 use gre_bench::registry::IndexBuilder;
+use gre_core::ops::RequestKind;
 use gre_core::{ConcurrentIndex, RangeSpec, Response};
-use gre_workloads::Op;
+use gre_workloads::scenario::{KeyDist, Mix, Pacing, Phase, Scenario, Span};
+use gre_workloads::{Driver, Op};
 use std::sync::Arc;
 
 const SHARDS: usize = 8;
 const WORKERS: usize = 4;
-const CLIENTS: u64 = 4;
-const BATCHES_PER_CLIENT: u64 = 100;
-const OPS_PER_BATCH: u64 = 1_000;
-const INFLIGHT: usize = 8;
 
 fn main() {
-    // Boot the store through the typed builder: 500k keys bulk-loaded into
+    // ---- Act 1: the raw typed client API ------------------------------
+    // Boot a store through the typed builder: 500k keys bulk-loaded into
     // ALEX+ shards behind a range partitioner fitted to the loaded key CDF.
     let entries: Vec<(u64, u64)> = (0..500_000u64).map(|i| (i * 4, i)).collect();
     let mut store = IndexBuilder::backend("alex+")
@@ -74,85 +77,8 @@ fn main() {
         assert!(window.iter().all(|e| (80..=100).contains(&e.0)));
     }
 
-    // Serve pipelined traffic: CLIENTS submitter threads, each keeping up to
-    // INFLIGHT batches in flight through its own Session, consuming typed
-    // responses in FIFO order as they complete.
-    let start = std::time::Instant::now();
-    let (hits, new_keys) = std::thread::scope(|s| {
-        let pipeline = &pipeline;
-        let handles: Vec<_> = (0..CLIENTS)
-            .map(|c| {
-                s.spawn(move || {
-                    let mut session = Session::with_max_inflight(pipeline, INFLIGHT);
-                    let mut hits = 0usize;
-                    let mut new_keys = 0usize;
-                    let mut tally = |responses: Vec<Response<u64>>| {
-                        for r in responses {
-                            match r {
-                                Response::Get(found) => hits += usize::from(found.is_some()),
-                                Response::Insert(new) => new_keys += usize::from(new),
-                                _ => {}
-                            }
-                        }
-                    };
-                    for b in 0..BATCHES_PER_CLIENT {
-                        let ops: Vec<Op> = (0..OPS_PER_BATCH)
-                            .map(|i| {
-                                let n = b * OPS_PER_BATCH + i;
-                                if n % 2 == 0 {
-                                    // Lookup of a loaded key.
-                                    Op::Get((n * 7919) % 2_000_000 / 4 * 4)
-                                } else {
-                                    // Fresh insert at an odd (absent) key
-                                    // inside the loaded domain, so writes
-                                    // spread across shards. (An append-only
-                                    // tail would route every insert to the
-                                    // last shard — the access-skew case the
-                                    // hash partitioner exists for.)
-                                    Op::Insert(((c * 499_979 + n * 7919) % 2_000_000) | 1, n)
-                                }
-                            })
-                            .collect();
-                        session.submit(OpBatch::new(ops));
-                        // Drain whatever has completed without blocking the
-                        // submission stream.
-                        while let Some(responses) = session.try_recv() {
-                            tally(responses);
-                        }
-                    }
-                    for responses in session.drain() {
-                        tally(responses);
-                    }
-                    (hits, new_keys)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread panicked"))
-            .fold((0, 0), |acc, r| (acc.0 + r.0, acc.1 + r.1))
-    });
-    let elapsed = start.elapsed();
-    let total_ops = CLIENTS * BATCHES_PER_CLIENT * OPS_PER_BATCH;
-    println!(
-        "{CLIENTS} clients x {BATCHES_PER_CLIENT} batches x {OPS_PER_BATCH} ops \
-         ({total_ops} total) on {WORKERS} workers, {INFLIGHT} batches in flight per \
-         session, in {:.2}s ({:.2} Mop/s)",
-        elapsed.as_secs_f64(),
-        total_ops as f64 / elapsed.as_secs_f64() / 1e6
-    );
-    println!("lookup hits: {hits}, inserted keys: {new_keys}");
-
-    // No lost updates: every insert landed exactly once (+1 for the
-    // non-blocking demo insert above).
-    let store = pipeline.index();
-    assert_eq!(
-        store.len() as u64,
-        500_000 + 1 + new_keys as u64,
-        "inserted batch ops must all be visible"
-    );
-
     // A cross-shard scan through the serving layer.
+    let store = pipeline.index();
     let mut window = Vec::new();
     let got = store.range(RangeSpec::new(1_000_000, 10), &mut window);
     println!(
@@ -160,4 +86,75 @@ fn main() {
         window.first()
     );
     assert!(window.windows(2).all(|w| w[0].0 < w[1].0));
+    drop(window);
+
+    // ---- Act 2: scripted traffic through the scenario engine ----------
+    // The same serving stack as a Driver target: each driver thread opens a
+    // pipelined Session (64-op batches, up to 8 in flight) and executes the
+    // scenario's phase script against it.
+    let keys: Vec<u64> = (0..500_000u64).map(|i| i * 4).collect();
+    let scenario = Scenario::new("serve", 42, &keys)
+        .phase(Phase::new(
+            "read-mostly churn",
+            Mix::read_mostly(10),
+            KeyDist::Zipf { theta: 0.99 },
+            Span::Ops(400_000),
+            Pacing::ClosedLoop { threads: 4 },
+        ))
+        .phase(Phase::new(
+            "write burst @50k/s",
+            Mix::read_mostly(80),
+            KeyDist::Uniform,
+            Span::Ops(50_000),
+            Pacing::OpenLoop {
+                rate_ops_s: 50_000.0,
+            },
+        ));
+    let mut target = SessionTarget::new(
+        IndexBuilder::backend("alex+")
+            .expect("alex+ registered")
+            .shards(SHARDS)
+            .build_sharded(),
+        WORKERS,
+        64,
+        8,
+    );
+    let result = Driver::new()
+        .open_loop_senders(2)
+        .run(&scenario, &mut target);
+
+    println!("\nscenario '{}' on {}:", result.scenario, result.target);
+    let mut new_keys = 0u64;
+    for phase in &result.phases {
+        let get = phase.kind_summary(RequestKind::Get);
+        println!(
+            "  {:<22} {:>8} ops {:>7.2} Mop/s  get p50={:>8.1}us p99={:>8.1}us \
+             (open loop: latency from intended send)",
+            phase.phase,
+            phase.ops(),
+            phase.throughput_mops(),
+            get.p50_ns as f64 / 1e3,
+            get.p99_ns as f64 / 1e3,
+        );
+        new_keys += phase.tally.new_keys;
+    }
+
+    // No lost updates: every accepted insert landed exactly once.
+    assert_eq!(
+        target.index().len() as u64,
+        500_000 + new_keys,
+        "inserted ops must all be visible"
+    );
+    println!(
+        "inserted {new_keys} new keys; store now holds {}",
+        target.index().len()
+    );
+
+    // The open-loop phase held its offered rate.
+    let burst = result.phase("write burst @50k/s").expect("burst phase ran");
+    let achieved = burst.achieved_rate();
+    println!(
+        "burst offered 50000 ops/s, achieved {achieved:.0} ops/s ({:+.1}%)",
+        (achieved - 50_000.0) / 50_000.0 * 100.0
+    );
 }
