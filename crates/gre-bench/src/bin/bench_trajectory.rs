@@ -1,0 +1,125 @@
+//! `bench_trajectory` — emit (or validate) the versioned perf-trajectory
+//! report `BENCH_trajectory.json` at the repo root.
+//!
+//! The sweep drives every concurrent backend of the registry (plus the
+//! sharded ALEX+ composite) through the three serving paths — direct,
+//! pipeline, session — over read-only, YCSB-A, and read-mostly mixes, and
+//! additionally compares scalar per-op lookups against the interleaved
+//! `get_batch` path on the read-only mix. See docs/BENCHMARKS.md.
+//!
+//! ```text
+//! bench_trajectory [--keys N] [--threads T] [--seed S] [--shards N]
+//!                  [--quick] [--verbose] [--out FILE]
+//! bench_trajectory --check FILE     # parse + smoke-check an emitted report
+//! ```
+
+use gre_bench::perfjson::{smoke_check, BenchReport};
+use gre_bench::trajectory::{run_trajectory, TrajectoryOpts};
+use gre_bench::RunOpts;
+use std::process::Command;
+
+/// `git rev-parse HEAD`, or `unknown` outside a work tree (the report must
+/// always be writable — CI checkouts and plain directories both count).
+fn current_commit() -> String {
+    Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| String::from("unknown"))
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let report = BenchReport::from_json(&text).map_err(|e| format!("`{path}`: {e}"))?;
+    smoke_check(&report).map_err(|e| format!("`{path}`: {e}"))?;
+    println!(
+        "{path}: ok — schema v{}, commit {}, {} results, {} batched comparisons",
+        report.schema_version,
+        report.commit,
+        report.results.len(),
+        report.config.batched_compare.len()
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_trajectory.json");
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                if let Some(v) = args.get(i + 1) {
+                    out_path = v.clone();
+                    i += 1;
+                }
+            }
+            "--check" => {
+                if let Some(v) = args.get(i + 1) {
+                    check_path = Some(v.clone());
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check_path {
+        if let Err(e) = check(&path) {
+            eprintln!("smoke check FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let opts = RunOpts::parse(args);
+    let traj = TrajectoryOpts::standard(&opts);
+    println!(
+        "perf trajectory: {} backends x {} targets x {} mixes, {} keys, {} ops/cell, {} threads (seed {})",
+        traj.backends.len(),
+        traj.targets.len(),
+        traj.mixes.len(),
+        traj.keys,
+        traj.ops,
+        traj.threads,
+        traj.seed,
+    );
+
+    let report = run_trajectory(&traj, current_commit());
+
+    println!(
+        "\n{:<20} {:<15} {:<12} {:>14} {:>10} {:>10}",
+        "backend", "target", "mix", "ops/s", "p50 us", "p99 us"
+    );
+    for r in &report.results {
+        println!(
+            "{:<20} {:<15} {:<12} {:>14.0} {:>10.2} {:>10.2}",
+            r.backend, r.target, r.mix, r.throughput_ops_s, r.p50_us, r.p99_us
+        );
+    }
+    println!();
+    for c in &report.config.batched_compare {
+        println!(
+            "{}: interleaved get_batch {:.0} ops/s vs scalar {:.0} ops/s -> {:.2}x",
+            c.backend, c.batched_ops_s, c.scalar_ops_s, c.speedup
+        );
+    }
+
+    let text = report.to_json();
+    if let Err(e) = std::fs::write(&out_path, &text) {
+        eprintln!("cannot write `{out_path}`: {e}");
+        std::process::exit(1);
+    }
+    // Re-validate what was actually written, so a sweep that produced a
+    // degenerate report fails loudly right here, not later in CI.
+    if let Err(e) = check(&out_path) {
+        eprintln!("smoke check FAILED: {e}");
+        std::process::exit(1);
+    }
+}

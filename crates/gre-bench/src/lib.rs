@@ -6,11 +6,14 @@
 //! and EXPERIMENTS.md for the mapping).
 
 pub mod heatmap;
+pub mod perfjson;
 pub mod registry;
 pub mod report;
 pub mod runopts;
+pub mod trajectory;
 
 pub use heatmap::{Heatmap, HeatmapCell};
+pub use perfjson::{BenchReport, BenchResult, SCHEMA_VERSION};
 pub use registry::{
     backend, concurrent_backend, concurrent_indexes, sharded_concurrent_indexes, sharded_index,
     single_thread_indexes, IndexKind,

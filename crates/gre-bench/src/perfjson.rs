@@ -1,0 +1,769 @@
+//! Versioned `BENCH_*.json` perf-trajectory reports.
+//!
+//! Every invocation of the `bench_trajectory` binary emits one report file
+//! at the repo root describing a full backend × target × mix sweep, so the
+//! performance trajectory of the codebase is persisted *in the repository*
+//! alongside the code it measured. A report is self-describing:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "commit": "289eef7…",
+//!   "config": { "keys": 200000, "ops": 200000, "threads": 8, … },
+//!   "results": [
+//!     { "backend": "ALEX+", "target": "direct", "mix": "read_only",
+//!       "threads": 8, "ops": 200000, "throughput_ops_s": 1.2e7,
+//!       "p50_us": 0.4, "p99_us": 1.9, "p999_us": 4.2,
+//!       "mean_us": 0.5, "max_us": 120.0 }
+//!   ]
+//! }
+//! ```
+//!
+//! The module is deliberately dependency-free: the writer hand-rolls JSON
+//! (same idiom as [`heatmap`](crate::heatmap)) and [`Json::parse`] is a
+//! small recursive-descent parser that round-trips everything the writer
+//! emits, so CI can smoke-check an emitted file without any external crate.
+
+use gre_core::ops::RequestKind;
+use gre_workloads::driver::PhaseResult;
+
+/// Version stamp of the report layout. Bump when a field is renamed,
+/// removed, or changes meaning; adding fields is backward compatible.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The serving paths a sweep must cover for [`smoke_check`] to pass.
+pub const REQUIRED_TARGETS: [&str; 3] = ["direct", "pipeline", "session"];
+
+/// One measured cell of the sweep: a backend serving one mix through one
+/// target at a fixed client count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Display name of the backend (e.g. `ALEX+`, `sharded(ALEX+,8)`).
+    pub backend: String,
+    /// Serving path: `direct`, `direct_batched`, `pipeline`, or `session`.
+    pub target: String,
+    /// Mix label, e.g. `read_only`, `ycsb_a`, `read_mostly`.
+    pub mix: String,
+    /// Closed-loop client threads.
+    pub threads: usize,
+    /// Completed operations.
+    pub ops: u64,
+    /// Completed operations per second of phase wall-clock.
+    pub throughput_ops_s: f64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub p999_us: f64,
+    pub mean_us: f64,
+    pub max_us: f64,
+}
+
+impl BenchResult {
+    /// Build a result row from one executed phase, merging the latency
+    /// histograms of every request kind (they are all measured from the
+    /// op's intended send time, so merging keeps them comparable).
+    pub fn from_phase(backend: &str, target: &str, mix: &str, phase: &PhaseResult) -> BenchResult {
+        let hist = phase.latency.merged(&RequestKind::ALL);
+        BenchResult {
+            backend: backend.to_string(),
+            target: target.to_string(),
+            mix: mix.to_string(),
+            threads: phase.threads,
+            ops: phase.ops(),
+            throughput_ops_s: phase.achieved_rate(),
+            p50_us: hist.percentile(0.50) as f64 / 1e3,
+            p99_us: hist.percentile(0.99) as f64 / 1e3,
+            p999_us: hist.percentile(0.999) as f64 / 1e3,
+            mean_us: hist.mean() / 1e3,
+            max_us: hist.max() as f64 / 1e3,
+        }
+    }
+
+    /// The fields that must be identical across two runs with the same
+    /// seed and configuration — everything except wall-clock-derived
+    /// numbers (throughput and the latency quantiles).
+    pub fn identity(&self) -> (String, String, String, usize, u64) {
+        (
+            self.backend.clone(),
+            self.target.clone(),
+            self.mix.clone(),
+            self.threads,
+            self.ops,
+        )
+    }
+}
+
+/// A scalar-vs-batched comparison on the read-only mix: the same backend
+/// driven through per-op `get` calls and through interleaved
+/// [`get_batch`](gre_core::ConcurrentIndex::get_batch) lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedCompare {
+    pub backend: String,
+    /// Throughput of the scalar per-op `direct` run, ops/s.
+    pub scalar_ops_s: f64,
+    /// Throughput of the `direct_batched` run, ops/s.
+    pub batched_ops_s: f64,
+    /// `batched_ops_s / scalar_ops_s`.
+    pub speedup: f64,
+}
+
+/// The sweep configuration a report was produced under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchConfig {
+    /// Bulk-loaded keys.
+    pub keys: usize,
+    /// Operations per phase.
+    pub ops: u64,
+    /// Closed-loop client threads.
+    pub threads: usize,
+    /// Shard count of the sharded composite (and pipeline/session targets).
+    pub shards: usize,
+    /// Scenario seed; two runs with the same seed offer identical traffic.
+    pub seed: u64,
+    /// Whether the sweep ran in `--quick` mode.
+    pub quick: bool,
+    /// Scalar-vs-batched lookup comparisons recorded by this sweep.
+    pub batched_compare: Vec<BatchedCompare>,
+}
+
+/// A full perf-trajectory report: version stamp, the commit it measured,
+/// the sweep configuration, and one [`BenchResult`] per cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    pub schema_version: u64,
+    /// `git rev-parse HEAD` at run time (`unknown` outside a work tree).
+    pub commit: String,
+    pub config: BenchConfig,
+    pub results: Vec<BenchResult>,
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Escape a string for embedding in JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an `f64` as a JSON number; non-finite values become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::from("null")
+    }
+}
+
+impl BatchedCompare {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"backend\": {}, \"scalar_ops_s\": {}, \"batched_ops_s\": {}, \"speedup\": {}}}",
+            json_string(&self.backend),
+            json_f64(self.scalar_ops_s),
+            json_f64(self.batched_ops_s),
+            json_f64(self.speedup),
+        )
+    }
+}
+
+impl BenchResult {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"backend\": {}, \"target\": {}, \"mix\": {}, \"threads\": {}, \"ops\": {}, \
+             \"throughput_ops_s\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+             \"mean_us\": {}, \"max_us\": {}}}",
+            json_string(&self.backend),
+            json_string(&self.target),
+            json_string(&self.mix),
+            self.threads,
+            self.ops,
+            json_f64(self.throughput_ops_s),
+            json_f64(self.p50_us),
+            json_f64(self.p99_us),
+            json_f64(self.p999_us),
+            json_f64(self.mean_us),
+            json_f64(self.max_us),
+        )
+    }
+}
+
+impl BenchReport {
+    /// Serialize the report; one result object per line so the committed
+    /// trajectory file diffs cell-by-cell.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str(&format!("  \"commit\": {},\n", json_string(&self.commit)));
+        out.push_str("  \"config\": {\n");
+        out.push_str(&format!("    \"keys\": {},\n", self.config.keys));
+        out.push_str(&format!("    \"ops\": {},\n", self.config.ops));
+        out.push_str(&format!("    \"threads\": {},\n", self.config.threads));
+        out.push_str(&format!("    \"shards\": {},\n", self.config.shards));
+        out.push_str(&format!("    \"seed\": {},\n", self.config.seed));
+        out.push_str(&format!("    \"quick\": {},\n", self.config.quick));
+        out.push_str("    \"batched_compare\": [\n");
+        for (i, c) in self.config.batched_compare.iter().enumerate() {
+            let sep = if i + 1 < self.config.batched_compare.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!("      {}{sep}\n", c.to_json()));
+        }
+        out.push_str("    ]\n");
+        out.push_str("  },\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!("    {}{sep}\n", r.to_json()));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Object member order is preserved (a `Vec`, not a
+/// map) so round-tripping is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a JSON document. Accepts exactly the grammar the writer above
+    /// produces (standard JSON minus exotic number forms like `1e400`).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(String::from("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let code = self.hex4()?;
+                            // Surrogates can't be built with from_u32; the
+                            // writer never emits them, so map to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 scalar (input is a &str, so
+                    // the boundary math is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| String::from("bad utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(String::from("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| String::from("bad \\u escape"))?;
+        let code = u32::from_str_radix(s, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report <- Json
+// ---------------------------------------------------------------------------
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String, String> {
+    field(obj, key)?
+        .as_str()
+        .map(String::from)
+        .ok_or_else(|| format!("field `{key}` is not a string"))
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, String> {
+    field(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not a non-negative integer"))
+}
+
+fn f64_field(obj: &Json, key: &str) -> Result<f64, String> {
+    field(obj, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+impl BenchReport {
+    /// Parse a report back out of its JSON serialization.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let root = Json::parse(text)?;
+        let config = field(&root, "config")?;
+        let mut batched_compare = Vec::new();
+        for c in field(config, "batched_compare")?
+            .as_arr()
+            .ok_or("`batched_compare` is not an array")?
+        {
+            batched_compare.push(BatchedCompare {
+                backend: str_field(c, "backend")?,
+                scalar_ops_s: f64_field(c, "scalar_ops_s")?,
+                batched_ops_s: f64_field(c, "batched_ops_s")?,
+                speedup: f64_field(c, "speedup")?,
+            });
+        }
+        let mut results = Vec::new();
+        for r in field(&root, "results")?
+            .as_arr()
+            .ok_or("`results` is not an array")?
+        {
+            results.push(BenchResult {
+                backend: str_field(r, "backend")?,
+                target: str_field(r, "target")?,
+                mix: str_field(r, "mix")?,
+                threads: u64_field(r, "threads")? as usize,
+                ops: u64_field(r, "ops")?,
+                throughput_ops_s: f64_field(r, "throughput_ops_s")?,
+                p50_us: f64_field(r, "p50_us")?,
+                p99_us: f64_field(r, "p99_us")?,
+                p999_us: f64_field(r, "p999_us")?,
+                mean_us: f64_field(r, "mean_us")?,
+                max_us: f64_field(r, "max_us")?,
+            });
+        }
+        Ok(BenchReport {
+            schema_version: u64_field(&root, "schema_version")?,
+            commit: str_field(&root, "commit")?,
+            config: BenchConfig {
+                keys: u64_field(config, "keys")? as usize,
+                ops: u64_field(config, "ops")?,
+                threads: u64_field(config, "threads")? as usize,
+                shards: u64_field(config, "shards")? as usize,
+                seed: u64_field(config, "seed")?,
+                quick: field(config, "quick")?
+                    .as_bool()
+                    .ok_or("`quick` is not a bool")?,
+                batched_compare,
+            },
+            results,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Smoke check
+// ---------------------------------------------------------------------------
+
+/// Validate the invariants CI asserts on every emitted trajectory file:
+/// the schema version matches, every serving path in [`REQUIRED_TARGETS`]
+/// has at least one result, and every latency/throughput field is finite.
+pub fn smoke_check(report: &BenchReport) -> Result<(), String> {
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {} != expected {SCHEMA_VERSION}",
+            report.schema_version
+        ));
+    }
+    if report.commit.is_empty() {
+        return Err(String::from("empty commit"));
+    }
+    if report.results.is_empty() {
+        return Err(String::from("no results"));
+    }
+    for target in REQUIRED_TARGETS {
+        if !report.results.iter().any(|r| r.target == target) {
+            return Err(format!("no result for target `{target}`"));
+        }
+    }
+    for r in &report.results {
+        let cell = format!("{}/{}/{}", r.backend, r.target, r.mix);
+        if r.ops == 0 {
+            return Err(format!("{cell}: zero completed ops"));
+        }
+        for (name, v) in [
+            ("throughput_ops_s", r.throughput_ops_s),
+            ("p50_us", r.p50_us),
+            ("p99_us", r.p99_us),
+            ("p999_us", r.p999_us),
+            ("mean_us", r.mean_us),
+            ("max_us", r.max_us),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "{cell}: `{name}` = {v} is not a finite non-negative number"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            commit: String::from("abc1234"),
+            config: BenchConfig {
+                keys: 20_000,
+                ops: 20_000,
+                threads: 2,
+                shards: 8,
+                seed: 42,
+                quick: true,
+                batched_compare: vec![BatchedCompare {
+                    backend: String::from("ALEX+"),
+                    scalar_ops_s: 1.0e6,
+                    batched_ops_s: 1.5e6,
+                    speedup: 1.5,
+                }],
+            },
+            results: vec![
+                BenchResult {
+                    backend: String::from("ALEX+"),
+                    target: String::from("direct"),
+                    mix: String::from("read_only"),
+                    threads: 2,
+                    ops: 20_000,
+                    throughput_ops_s: 1.0e6,
+                    p50_us: 0.5,
+                    p99_us: 2.25,
+                    p999_us: 4.0,
+                    mean_us: 0.75,
+                    max_us: 100.0,
+                },
+                BenchResult {
+                    backend: String::from("ALEX+"),
+                    target: String::from("pipeline"),
+                    mix: String::from("read_only"),
+                    threads: 2,
+                    ops: 20_000,
+                    throughput_ops_s: 2.0e6,
+                    p50_us: 200.0,
+                    p99_us: 400.0,
+                    p999_us: 500.0,
+                    mean_us: 220.0,
+                    max_us: 900.0,
+                },
+                BenchResult {
+                    backend: String::from("ALEX+"),
+                    target: String::from("session"),
+                    mix: String::from("ycsb_a"),
+                    threads: 2,
+                    ops: 20_000,
+                    throughput_ops_s: 3.0e6,
+                    p50_us: 150.0,
+                    p99_us: 300.0,
+                    p999_us: 450.0,
+                    mean_us: 180.0,
+                    max_us: 800.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let report = sample_report();
+        let text = report.to_json();
+        let back = BenchReport::from_json(&text).expect("parse emitted JSON");
+        assert_eq!(back, report);
+        // And the re-serialization is byte-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn smoke_check_accepts_a_complete_report() {
+        assert_eq!(smoke_check(&sample_report()), Ok(()));
+    }
+
+    #[test]
+    fn smoke_check_rejects_broken_reports() {
+        let mut r = sample_report();
+        r.schema_version = 99;
+        assert!(smoke_check(&r).unwrap_err().contains("schema_version"));
+
+        let mut r = sample_report();
+        r.results.retain(|x| x.target != "session");
+        assert!(smoke_check(&r).unwrap_err().contains("session"));
+
+        let mut r = sample_report();
+        r.results[0].p99_us = f64::NAN;
+        assert!(smoke_check(&r).unwrap_err().contains("p99_us"));
+
+        let mut r = sample_report();
+        r.results[1].ops = 0;
+        assert!(smoke_check(&r).unwrap_err().contains("zero completed ops"));
+
+        let mut r = sample_report();
+        r.results.clear();
+        assert!(smoke_check(&r).unwrap_err().contains("no results"));
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_structure() {
+        let v = Json::parse(
+            r#"{"a": "x\n\"y\\zA", "b": [1, -2.5, 3e2], "c": {"d": null, "e": true, "f": false}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_str(), Some("x\n\"y\\zA"));
+        let b = v.get("b").unwrap().as_arr().unwrap();
+        assert_eq!(b[0].as_f64(), Some(1.0));
+        assert_eq!(b[1].as_f64(), Some(-2.5));
+        assert_eq!(b[2].as_f64(), Some(300.0));
+        let c = v.get("c").unwrap();
+        assert_eq!(c.get("d"), Some(&Json::Null));
+        assert_eq!(c.get("e").unwrap().as_bool(), Some(true));
+        assert_eq!(c.get("f").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn non_finite_latencies_serialize_as_null_and_fail_parsing_as_numbers() {
+        let mut report = sample_report();
+        report.results[0].max_us = f64::INFINITY;
+        let text = report.to_json();
+        assert!(text.contains("\"max_us\": null"));
+        // `from_json` refuses the null where a number is required — a
+        // report with non-finite latencies can't round-trip silently.
+        assert!(BenchReport::from_json(&text)
+            .unwrap_err()
+            .contains("max_us"));
+    }
+}

@@ -1,0 +1,535 @@
+//! The perf-trajectory sweep behind the `bench_trajectory` binary: drive a
+//! backend × target × mix matrix through the scenario [`Driver`] and
+//! collect one [`BenchResult`] per cell, plus scalar-vs-batched lookup
+//! comparisons on the read-only mix.
+//!
+//! The sweep lives in the library (rather than the binary) so the
+//! determinism regression test can run the exact code path twice on a
+//! small matrix and compare reports.
+
+use crate::perfjson::{BatchedCompare, BenchConfig, BenchReport, BenchResult, SCHEMA_VERSION};
+use crate::registry::IndexBuilder;
+use gre_core::ops::RequestKind;
+use gre_core::{ConcurrentIndex, IndexMeta, Payload, Response};
+use gre_shard::{PipelineTarget, SessionTarget, DEFAULT_DRIVER_BATCH, DEFAULT_MAX_INFLIGHT};
+use gre_workloads::driver::{Connection, PhaseRecorder, PhaseResult, ServeTarget};
+use gre_workloads::scenario::{KeyDist, Mix, Pacing, Phase, Scenario, Span};
+use gre_workloads::{Driver, Op};
+use std::time::Instant;
+
+/// How many buffered point lookups the batched-gets target hands to one
+/// [`get_batch`](ConcurrentIndex::get_batch) call. Wide enough that a
+/// partitioned backend sees multi-key groups per partition (amortizing its
+/// per-partition locking) and the interleaved prefetch stage has real work.
+pub const BATCHED_GET_FLUSH: usize = 256;
+
+/// One serving path of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Driver threads call the index synchronously, one op at a time.
+    Direct,
+    /// Submit-then-wait batches through the `ShardPipeline`.
+    Pipeline,
+    /// Pipelined `Session` connections with an in-flight window.
+    Session,
+}
+
+impl TargetKind {
+    /// The `target` label recorded in the report.
+    pub fn label(self) -> &'static str {
+        match self {
+            TargetKind::Direct => "direct",
+            TargetKind::Pipeline => "pipeline",
+            TargetKind::Session => "session",
+        }
+    }
+}
+
+/// One workload mix of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct MixSpec {
+    /// The `mix` label recorded in the report.
+    pub name: &'static str,
+    pub mix: Mix,
+    pub dist: KeyDist,
+}
+
+/// The standard mix set: uniform read-only, zipfian YCSB-A (50/50
+/// read/update, the paper's default skewed mix), and a uniform 95/5
+/// read/insert mix that grows the key space.
+pub fn standard_mixes() -> Vec<MixSpec> {
+    vec![
+        MixSpec {
+            name: "read_only",
+            mix: Mix::read_only(),
+            dist: KeyDist::Uniform,
+        },
+        MixSpec {
+            name: "ycsb_a",
+            mix: Mix::ycsb_a(),
+            dist: KeyDist::Zipf { theta: 0.99 },
+        },
+        MixSpec {
+            name: "read_mostly",
+            mix: Mix::read_mostly(5),
+            dist: KeyDist::Uniform,
+        },
+    ]
+}
+
+/// Full sweep configuration.
+#[derive(Debug, Clone)]
+pub struct TrajectoryOpts {
+    /// Backend specs, in [`IndexBuilder::parse`] syntax (`alex+`,
+    /// `alex+:8`, `b+treeolc`, …).
+    pub backends: Vec<String>,
+    pub targets: Vec<TargetKind>,
+    pub mixes: Vec<MixSpec>,
+    /// Backends (same spec syntax) to additionally run through the
+    /// `direct_batched` target on the read-only mix, recording a
+    /// [`BatchedCompare`] against their scalar `direct` run.
+    pub compare_backends: Vec<String>,
+    /// Bulk-loaded keys.
+    pub keys: usize,
+    /// Operations per phase.
+    pub ops: u64,
+    /// Closed-loop client threads.
+    pub threads: usize,
+    /// Shard count for pipeline/session targets.
+    pub shards: usize,
+    pub seed: u64,
+    pub quick: bool,
+    /// Print one line per completed cell to stderr.
+    pub verbose: bool,
+}
+
+impl TrajectoryOpts {
+    /// The standard matrix of the committed trajectory file: every
+    /// concurrent backend of the registry plus the sharded ALEX+ composite,
+    /// through all three serving paths, over the standard mixes, with
+    /// scalar-vs-batched comparisons on the learned hot paths.
+    pub fn standard(opts: &crate::RunOpts) -> TrajectoryOpts {
+        TrajectoryOpts {
+            backends: vec![
+                String::from("alex+"),
+                String::from("lipp+"),
+                String::from("xindex"),
+                String::from("finedex"),
+                String::from("b+treeolc"),
+                String::from("artolc"),
+                format!("alex+:{}", opts.shards),
+            ],
+            targets: vec![
+                TargetKind::Direct,
+                TargetKind::Pipeline,
+                TargetKind::Session,
+            ],
+            mixes: standard_mixes(),
+            compare_backends: vec![String::from("alex+"), format!("alex+:{}", opts.shards)],
+            keys: opts.keys,
+            ops: opts.keys as u64,
+            threads: opts.threads,
+            shards: opts.shards,
+            seed: opts.seed,
+            quick: opts.quick,
+            verbose: opts.verbose,
+        }
+    }
+}
+
+/// The deterministic key set every sweep loads: a dense, gapped sequence
+/// (stride 16) so inserts land between loaded keys.
+pub fn trajectory_keys(n: usize) -> Vec<u64> {
+    (1..=n as u64).map(|i| i * 16).collect()
+}
+
+fn scenario_for(mix: &MixSpec, keys: &[u64], opts: &TrajectoryOpts) -> Scenario {
+    Scenario::new(mix.name, opts.seed, keys).phase(Phase::new(
+        mix.name,
+        mix.mix,
+        mix.dist,
+        Span::Ops(opts.ops),
+        Pacing::ClosedLoop {
+            threads: opts.threads,
+        },
+    ))
+}
+
+/// Every cell uses the same latency sampling stride so per-target numbers
+/// stay comparable: 1 in 8 closed-loop ops is timed from its intended send
+/// time (dense enough for stable tails on `--quick` op counts, sparse
+/// enough that `Instant::now()` stays out of the measured hot path).
+const SAMPLE_STRIDE: usize = 8;
+
+fn run_cell(
+    builder: &IndexBuilder,
+    target: TargetKind,
+    mix: &MixSpec,
+    keys: &[u64],
+    opts: &TrajectoryOpts,
+) -> PhaseResult {
+    let scenario = scenario_for(mix, keys, opts);
+    let driver = Driver::new().sample_stride(SAMPLE_STRIDE);
+    let workers = opts.threads.max(1);
+    let mut result = match target {
+        TargetKind::Direct => {
+            let mut index = builder.build();
+            driver.run(&scenario, &mut *index)
+        }
+        TargetKind::Pipeline => {
+            let mut t = PipelineTarget::new(builder.build_sharded(), workers, DEFAULT_DRIVER_BATCH);
+            driver.run(&scenario, &mut t)
+        }
+        TargetKind::Session => {
+            let mut t = SessionTarget::new(
+                builder.build_sharded(),
+                workers,
+                DEFAULT_DRIVER_BATCH,
+                DEFAULT_MAX_INFLIGHT,
+            );
+            driver.run(&scenario, &mut t)
+        }
+    };
+    result.phases.remove(0)
+}
+
+/// Run the full sweep and assemble the report (the `commit` field is
+/// stamped by the caller, so the library stays free of process spawning).
+pub fn run_trajectory(opts: &TrajectoryOpts, commit: String) -> BenchReport {
+    let keys = trajectory_keys(opts.keys);
+    let mut results = Vec::new();
+    for spec in &opts.backends {
+        let builder =
+            IndexBuilder::parse(spec).unwrap_or_else(|e| panic!("bad backend spec `{spec}`: {e}"));
+        let name = builder.display_name();
+        for &target in &opts.targets {
+            for mix in &opts.mixes {
+                let phase = run_cell(&builder, target, mix, &keys, opts);
+                let row = BenchResult::from_phase(&name, target.label(), mix.name, &phase);
+                if opts.verbose {
+                    eprintln!(
+                        "  {:<18} {:<10} {:<12} {:>10.0} ops/s  p99 {:>8.1}us",
+                        row.backend, row.target, row.mix, row.throughput_ops_s, row.p99_us
+                    );
+                }
+                results.push(row);
+            }
+        }
+    }
+
+    let mut batched_compare = Vec::new();
+    let read_only = standard_mixes()[0];
+    for spec in &opts.compare_backends {
+        let builder =
+            IndexBuilder::parse(spec).unwrap_or_else(|e| panic!("bad backend spec `{spec}`: {e}"));
+        let name = builder.display_name();
+        let scalar = match results
+            .iter()
+            .find(|r| r.backend == name && r.target == "direct" && r.mix == "read_only")
+        {
+            Some(row) => row.clone(),
+            None => {
+                let phase = run_cell(&builder, TargetKind::Direct, &read_only, &keys, opts);
+                let row = BenchResult::from_phase(&name, "direct", "read_only", &phase);
+                results.push(row.clone());
+                row
+            }
+        };
+        let phase = run_batched_cell(&builder, &read_only, &keys, opts);
+        let batched = BenchResult::from_phase(&name, "direct_batched", "read_only", &phase);
+        let speedup = if scalar.throughput_ops_s > 0.0 {
+            batched.throughput_ops_s / scalar.throughput_ops_s
+        } else {
+            0.0
+        };
+        if opts.verbose {
+            eprintln!(
+                "  {:<18} batched gets {:>10.0} ops/s vs scalar {:>10.0} ops/s ({speedup:.2}x)",
+                name, batched.throughput_ops_s, scalar.throughput_ops_s
+            );
+        }
+        batched_compare.push(BatchedCompare {
+            backend: name,
+            scalar_ops_s: scalar.throughput_ops_s,
+            batched_ops_s: batched.throughput_ops_s,
+            speedup,
+        });
+        results.push(batched);
+    }
+
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        commit,
+        config: BenchConfig {
+            keys: opts.keys,
+            ops: opts.ops,
+            threads: opts.threads,
+            shards: opts.shards,
+            seed: opts.seed,
+            quick: opts.quick,
+            batched_compare,
+        },
+        results,
+    }
+}
+
+fn run_batched_cell(
+    builder: &IndexBuilder,
+    mix: &MixSpec,
+    keys: &[u64],
+    opts: &TrajectoryOpts,
+) -> PhaseResult {
+    let scenario = scenario_for(mix, keys, opts);
+    let driver = Driver::new().sample_stride(SAMPLE_STRIDE);
+    let mut target = BatchedGetTarget::new(builder.build(), BATCHED_GET_FLUSH);
+    let mut result = driver.run(&scenario, &mut target);
+    result.phases.remove(0)
+}
+
+/// A serving target that funnels point lookups through
+/// [`ConcurrentIndex::get_batch`]: each connection buffers up to `width`
+/// consecutive `Get` ops and flushes them as one interleaved batch. Any
+/// non-`Get` op first flushes the buffer (preserving the connection's
+/// program order, and with it read-your-write) and then executes through
+/// the scalar typed-request path. Like the pipeline/session targets,
+/// latency of a buffered lookup is measured from its intended send time to
+/// its *batch's* completion.
+pub struct BatchedGetTarget {
+    index: Box<dyn ConcurrentIndex<u64>>,
+    width: usize,
+}
+
+impl BatchedGetTarget {
+    pub fn new(index: Box<dyn ConcurrentIndex<u64>>, width: usize) -> BatchedGetTarget {
+        BatchedGetTarget {
+            index,
+            width: width.max(1),
+        }
+    }
+}
+
+impl ServeTarget for BatchedGetTarget {
+    fn describe(&self) -> String {
+        format!("{} [batched gets x{}]", self.index.meta().name, self.width)
+    }
+
+    fn load(&mut self, entries: &[(u64, Payload)]) {
+        self.index.bulk_load(entries);
+    }
+
+    fn connect(&self) -> Box<dyn Connection + '_> {
+        Box::new(BatchedGetConn {
+            index: &*self.index,
+            meta: self.index.meta(),
+            width: self.width,
+            keys: Vec::with_capacity(self.width),
+            intended: Vec::with_capacity(self.width),
+            results: Vec::with_capacity(self.width),
+        })
+    }
+
+    fn stored_len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.index.memory_usage()
+    }
+}
+
+struct BatchedGetConn<'a> {
+    index: &'a dyn ConcurrentIndex<u64>,
+    meta: IndexMeta,
+    width: usize,
+    keys: Vec<u64>,
+    intended: Vec<Option<Instant>>,
+    results: Vec<Option<Payload>>,
+}
+
+impl BatchedGetConn<'_> {
+    fn flush_gets(&mut self, rec: &mut PhaseRecorder) {
+        if self.keys.is_empty() {
+            return;
+        }
+        self.index.get_batch(&self.keys, &mut self.results);
+        debug_assert_eq!(self.results.len(), self.keys.len());
+        let now = Instant::now();
+        for (intended, result) in self.intended.drain(..).zip(self.results.drain(..)) {
+            let response = Response::Get(result);
+            match intended {
+                Some(t0) => rec.complete_timed(RequestKind::Get, t0, now, &response),
+                None => rec.complete_untimed(&response),
+            }
+        }
+        self.keys.clear();
+    }
+}
+
+impl Connection for BatchedGetConn<'_> {
+    fn submit(&mut self, op: Op, intended: Option<Instant>, rec: &mut PhaseRecorder) {
+        match op {
+            Op::Get(key) => {
+                self.keys.push(key);
+                self.intended.push(intended);
+                if self.keys.len() >= self.width {
+                    self.flush_gets(rec);
+                }
+            }
+            other => {
+                self.flush_gets(rec);
+                let response = other.execute(self.index, &self.meta);
+                match intended {
+                    Some(t0) => rec.complete_timed(other.kind(), t0, Instant::now(), &response),
+                    None => rec.complete_untimed(&response),
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self, rec: &mut PhaseRecorder) {
+        self.flush_gets(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfjson::{smoke_check, BenchReport};
+
+    fn tiny_opts() -> TrajectoryOpts {
+        TrajectoryOpts {
+            backends: vec![String::from("alex+"), String::from("b+treeolc")],
+            targets: vec![
+                TargetKind::Direct,
+                TargetKind::Pipeline,
+                TargetKind::Session,
+            ],
+            mixes: vec![standard_mixes()[0], standard_mixes()[1]],
+            compare_backends: vec![String::from("alex+")],
+            keys: 4_000,
+            ops: 4_000,
+            threads: 2,
+            shards: 2,
+            seed: 42,
+            quick: true,
+            verbose: false,
+        }
+    }
+
+    #[test]
+    fn two_runs_with_the_same_seed_are_identical_modulo_timing() {
+        let opts = tiny_opts();
+        let a = run_trajectory(&opts, String::from("test"));
+        let b = run_trajectory(&opts, String::from("test"));
+        let ids_a: Vec<_> = a.results.iter().map(|r| r.identity()).collect();
+        let ids_b: Vec<_> = b.results.iter().map(|r| r.identity()).collect();
+        assert_eq!(ids_a, ids_b, "same seed must enumerate identical cells");
+        assert_eq!(
+            a.config.batched_compare.len(),
+            b.config.batched_compare.len()
+        );
+        for (x, y) in a
+            .config
+            .batched_compare
+            .iter()
+            .zip(&b.config.batched_compare)
+        {
+            assert_eq!(x.backend, y.backend);
+        }
+        smoke_check(&a).expect("run A passes the smoke check");
+        smoke_check(&b).expect("run B passes the smoke check");
+    }
+
+    #[test]
+    fn emitted_report_round_trips_through_the_parser() {
+        let mut opts = tiny_opts();
+        opts.backends = vec![String::from("alex+")];
+        opts.mixes = vec![standard_mixes()[0]];
+        let report = run_trajectory(&opts, String::from("roundtrip"));
+        let text = report.to_json();
+        let back = BenchReport::from_json(&text).expect("parse emitted report");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text);
+    }
+
+    /// The `fix` satellite's regression: the batched-gets serving path must
+    /// be model-equivalent to the scalar per-op path — same per-connection
+    /// response ordering and the same capability gating — for a learned and
+    /// a traditional backend.
+    #[test]
+    fn batched_target_matches_scalar_responses_in_order() {
+        use gre_core::ops::Request;
+
+        for spec in ["alex+", "b+treeolc"] {
+            let builder = IndexBuilder::parse(spec).unwrap();
+            let keys = trajectory_keys(2_000);
+            let entries: Vec<(u64, Payload)> =
+                keys.iter().map(|&k| (k, k.wrapping_mul(3))).collect();
+
+            // A deterministic op tape mixing batched-path and scalar-path
+            // ops, including unsupported ones (Remove on backends that
+            // gate it) and read/write hazards in both directions. The keys
+            // `k` are distinct across iterations, so each hazard is
+            // independent: a connection that reorders a buffered Get past
+            // a write (or a write past a buffered Get) flips that Get
+            // between hit and miss and diverges from the scalar tally.
+            let mut tape: Vec<Op> = Vec::new();
+            for i in 0..600u64 {
+                let k = keys[(i as usize * 7) % keys.len()];
+                tape.push(Request::Get(k));
+                if i % 5 == 0 {
+                    tape.push(Request::Get(k + 1)); // gap key: miss
+                }
+                if i % 97 == 0 {
+                    tape.push(Request::Insert(k + 3, i));
+                    tape.push(Request::Get(k + 3)); // read-your-write: hit
+                }
+                if i % 89 == 0 {
+                    tape.push(Request::Get(k + 5)); // must flush BEFORE...
+                    tape.push(Request::Insert(k + 5, i)); // ...this write: miss
+                }
+                if i % 113 == 0 {
+                    tape.push(Request::Remove(k)); // capability-gated on some
+                }
+            }
+
+            // Scalar reference: the typed-request path, one op at a time.
+            let mut scalar_index = builder.build();
+            scalar_index.bulk_load(&entries);
+            let meta = scalar_index.meta();
+            let scalar: Vec<Response<u64>> = tape
+                .iter()
+                .map(|&op| op.execute(&*scalar_index, &meta))
+                .collect();
+
+            // Batched path: same tape through one BatchedGetTarget
+            // connection, collecting responses via the recorder-visible
+            // tally AND a response log captured by re-executing through
+            // the connection's own order.
+            let mut target = BatchedGetTarget::new(builder.build(), 16);
+            target.load(&entries);
+            let mut rec = PhaseRecorder::new(Instant::now(), std::time::Duration::from_millis(100));
+            let mut conn = target.connect();
+            for &op in &tape {
+                conn.submit(op, None, &mut rec);
+            }
+            conn.flush(&mut rec);
+            drop(conn);
+
+            // Both executions start from identical bulk loads and replay
+            // the identical single-connection tape, so the typed-response
+            // tallies must agree exactly — hazard Gets pin the ordering,
+            // and `errors` pins the Unsupported gating of Remove.
+            let mut want = gre_workloads::driver::Tally::default();
+            for r in &scalar {
+                want.record(r);
+            }
+            assert_eq!(
+                *rec.tally(),
+                want,
+                "{spec}: batched path diverged from scalar"
+            );
+            assert_eq!(rec.tally().ops, tape.len() as u64);
+        }
+    }
+}

@@ -141,6 +141,27 @@ pub trait ConcurrentIndex<K: Key>: Send + Sync {
     /// Point lookup.
     fn get(&self, key: K) -> Option<Payload>;
 
+    /// Batched point lookup: `out[i]` is the result of `get(keys[i])`.
+    ///
+    /// The default is the scalar loop, so every backend gets the batched
+    /// entry point for free and callers (the `gre-shard` request pipeline,
+    /// harness binaries) can always hand over a group of keys. Structures
+    /// with a predictable search path override this with an interleaved,
+    /// software-pipelined version (issue model predictions for the whole
+    /// group, prefetch the predicted positions, then finish the bounded
+    /// local searches) — see ALEX+ in `gre-learned`.
+    ///
+    /// # Contract
+    ///
+    /// `out` is cleared first; afterwards `out.len() == keys.len()` and each
+    /// `out[i]` equals what a scalar `get(keys[i])` at some point during the
+    /// call would have returned. Duplicated keys are looked up once each, in
+    /// order.
+    fn get_batch(&self, keys: &[K], out: &mut Vec<Option<Payload>>) {
+        out.clear();
+        out.extend(keys.iter().map(|&k| self.get(k)));
+    }
+
     /// Insert or update.
     fn insert(&self, key: K, value: Payload) -> bool;
 
@@ -254,6 +275,9 @@ impl<K: Key, T: ConcurrentIndex<K> + ?Sized> ConcurrentIndex<K> for Box<T> {
     fn get(&self, key: K) -> Option<Payload> {
         (**self).get(key)
     }
+    fn get_batch(&self, keys: &[K], out: &mut Vec<Option<Payload>>) {
+        (**self).get_batch(keys, out);
+    }
     fn insert(&self, key: K, value: Payload) -> bool {
         (**self).insert(key, value)
     }
@@ -313,6 +337,13 @@ impl<K: Key, I: Index<K>> ConcurrentIndex<K> for MutexIndex<I> {
 
     fn get(&self, key: K) -> Option<Payload> {
         self.inner.lock().get(key)
+    }
+
+    fn get_batch(&self, keys: &[K], out: &mut Vec<Option<Payload>>) {
+        // One lock() for the whole batch instead of one per key.
+        let inner = self.inner.lock();
+        out.clear();
+        out.extend(keys.iter().map(|&k| inner.get(k)));
     }
 
     fn insert(&self, key: K, value: Payload) -> bool {
@@ -483,6 +514,21 @@ mod tests {
         ConcurrentIndex::reset_stats(&wrapped);
         assert_eq!(wrapped.stats().counters.inserts, 0);
         assert_eq!(wrapped.last_insert_stats(), InsertStats::default());
+    }
+
+    #[test]
+    fn get_batch_matches_scalar_gets_in_order() {
+        let mut wrapped = MutexIndex::new(ModelIndex::default(), "model-mutex");
+        ConcurrentIndex::bulk_load(&mut wrapped, &[(1, 10), (2, 20), (5, 50)]);
+        let keys = [5u64, 4, 1, 5, 2];
+        let mut out = vec![Some(999)]; // stale content must be cleared
+        wrapped.get_batch(&keys, &mut out);
+        let scalar: Vec<_> = keys.iter().map(|&k| wrapped.get(k)).collect();
+        assert_eq!(out, scalar);
+        assert_eq!(out, vec![Some(50), None, Some(10), Some(50), Some(20)]);
+        // Empty batches clear the output vector.
+        wrapped.get_batch(&[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -316,6 +316,75 @@ impl<K: Key> DataNode<K> {
             + self.values.capacity() * std::mem::size_of::<Payload>()
             + self.occupied.capacity()
     }
+
+    /// Stats-free point probe from a precomputed model prediction: the same
+    /// exponential "last-mile" search as [`DataNode::lower_bound`], without
+    /// the `&mut` statistics updates, shared by the scalar and batched read
+    /// paths. `pred` must be `< capacity()`.
+    fn probe(&self, key: K, pred: usize) -> Option<Payload> {
+        let cap = self.capacity();
+        if cap == 0 || self.num_keys == 0 {
+            return None;
+        }
+        let above = |i: usize| match self.effective_key(i) {
+            Some(k) => k >= key,
+            None => false,
+        };
+        let (mut lo, mut hi);
+        if above(pred) {
+            let mut step = 1usize;
+            let mut left = pred;
+            while left > 0 && above(left.saturating_sub(step)) {
+                left = left.saturating_sub(step);
+                step *= 2;
+            }
+            lo = left.saturating_sub(step);
+            hi = pred;
+        } else {
+            let mut step = 1usize;
+            let mut right = pred;
+            while right < cap - 1 && !above((right + step).min(cap - 1)) {
+                right = (right + step).min(cap - 1);
+                step *= 2;
+            }
+            lo = right;
+            hi = (right + step).min(cap - 1);
+            if !above(hi) {
+                return None;
+            }
+        }
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if above(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let mut p = lo;
+        while !self.occupied[p] {
+            p -= 1;
+        }
+        (self.keys[p] == key).then_some(self.values[p])
+    }
+}
+
+/// Group width of the software-pipelined batched lookup: wide enough to
+/// cover DRAM latency with independent work, small enough that the staged
+/// `(node, prediction)` state stays in registers/L1.
+pub const BATCH_WIDTH: usize = 8;
+
+/// Best-effort read prefetch of the cache line holding `*ptr`. No-op on
+/// architectures without an exposed prefetch intrinsic.
+#[inline(always)]
+fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch never faults, even on invalid addresses.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
 }
 
 /// ALEX: a model-routed collection of gapped-array data nodes.
@@ -400,6 +469,42 @@ impl<K: Key> Alex<K> {
         (idx, traversed.max(1))
     }
 
+    /// Batched point lookups, software-pipelined [`BATCH_WIDTH`] keys at a
+    /// time: stage 1 routes every key of the group through the inner model,
+    /// computes its data-node slot prediction, and issues a prefetch for the
+    /// predicted position; stage 2 finishes the bounded "last-mile" searches
+    /// against (now likely cache-resident) lines. Appends one `Option` per
+    /// key to `out` in input order — semantically identical to a scalar
+    /// `get` per key, only faster, because the `BATCH_WIDTH` independent
+    /// memory accesses overlap instead of serializing on DRAM latency.
+    pub fn get_batch_into(&self, keys: &[K], out: &mut Vec<Option<Payload>>) {
+        out.reserve(keys.len());
+        let mut staged = [(0usize, 0usize); BATCH_WIDTH];
+        for group in keys.chunks(BATCH_WIDTH) {
+            // Stage 1: route + predict + prefetch for the whole group.
+            for (j, &key) in group.iter().enumerate() {
+                let (idx, _) = self.locate(key);
+                let node = &self.nodes[idx];
+                let cap = node.capacity();
+                let pred = if cap == 0 {
+                    0
+                } else {
+                    node.model.predict_clamped(key, cap)
+                };
+                staged[j] = (idx, pred);
+                if cap != 0 {
+                    prefetch_read(node.keys.as_ptr().wrapping_add(pred));
+                    prefetch_read(node.occupied.as_ptr().wrapping_add(pred));
+                }
+            }
+            // Stage 2: bounded local searches on the prefetched positions.
+            for (j, &key) in group.iter().enumerate() {
+                let (idx, pred) = staged[j];
+                out.push(self.nodes[idx].probe(key, pred));
+            }
+        }
+    }
+
     /// Rebuild or split node `idx` after its insert failed or its density
     /// exceeded the budget. The cost-model decision is the paper's: expand
     /// and retrain while the node is under the size budget, split otherwise.
@@ -450,55 +555,14 @@ impl<K: Key> Index<K> for Alex<K> {
 
     fn get(&self, key: K) -> Option<Payload> {
         let (idx, _) = self.locate(key);
-        // `lower_bound` updates search statistics, which needs `&mut`; for
-        // the read path we use a local clone-free search on the const node.
+        // `lower_bound` updates search statistics, which needs `&mut`; the
+        // read path runs the stats-free probe on the const node.
         let node = &self.nodes[idx];
         let cap = node.capacity();
         if cap == 0 || node.num_keys == 0 {
             return None;
         }
-        // Same exponential search as DataNode::lower_bound, without stats.
-        let pred = node.model.predict_clamped(key, cap);
-        let above = |i: usize| match node.effective_key(i) {
-            Some(k) => k >= key,
-            None => false,
-        };
-        let (mut lo, mut hi);
-        if above(pred) {
-            let mut step = 1usize;
-            let mut left = pred;
-            while left > 0 && above(left.saturating_sub(step)) {
-                left = left.saturating_sub(step);
-                step *= 2;
-            }
-            lo = left.saturating_sub(step);
-            hi = pred;
-        } else {
-            let mut step = 1usize;
-            let mut right = pred;
-            while right < cap - 1 && !above((right + step).min(cap - 1)) {
-                right = (right + step).min(cap - 1);
-                step *= 2;
-            }
-            lo = right;
-            hi = (right + step).min(cap - 1);
-            if !above(hi) {
-                return None;
-            }
-        }
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            if above(mid) {
-                hi = mid;
-            } else {
-                lo = mid + 1;
-            }
-        }
-        let mut p = lo;
-        while !node.occupied[p] {
-            p -= 1;
-        }
-        (node.keys[p] == key).then_some(node.values[p])
+        node.probe(key, node.model.predict_clamped(key, cap))
     }
 
     fn insert(&mut self, key: K, value: Payload) -> bool {
@@ -752,6 +816,36 @@ mod tests {
         assert!(matched.average_density() < normal.average_density());
         assert!(matched.memory_usage() > normal.memory_usage());
         assert_eq!(matched.get(7), Some(0));
+    }
+
+    #[test]
+    fn batched_lookup_matches_scalar_gets() {
+        let mut alex = Alex::with_config(AlexConfig {
+            max_node_entries: 1 << 12,
+            ..Default::default()
+        });
+        alex.bulk_load(&entries(20_000));
+        // Mixed hits and misses, shuffled order, length not a multiple of
+        // the batch width, duplicates included.
+        let mut keys: Vec<u64> = (0..1_003u64)
+            .map(|i| (i.wrapping_mul(0x9e37_79b9) % 25_000) * 13 + 7 - (i % 2))
+            .collect();
+        keys.push(keys[0]);
+        let mut batched = Vec::new();
+        alex.get_batch_into(&keys, &mut batched);
+        let scalar: Vec<_> = keys.iter().map(|&k| alex.get(k)).collect();
+        assert_eq!(batched, scalar);
+        assert!(batched.iter().any(|r| r.is_some()));
+        assert!(batched.iter().any(|r| r.is_none()));
+
+        // Empty index and empty batch are both fine.
+        let empty: Alex<u64> = Alex::new();
+        let mut out = Vec::new();
+        empty.get_batch_into(&[1, 2, 3], &mut out);
+        assert_eq!(out, vec![None, None, None]);
+        out.clear();
+        empty.get_batch_into(&[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod lipp;
 pub mod pgm;
 pub mod xindex;
 
-pub use alex::{Alex, AlexConfig};
+pub use alex::{Alex, AlexConfig, BATCH_WIDTH};
 pub use concurrent::{AlexPlus, LippPlus, LockGranularity};
 pub use finedex::{Finedex, FinedexConfig};
 pub use lipp::{Lipp, LippConfig};

@@ -492,6 +492,15 @@ impl<B: ConcurrentIndex<u64> + 'static> Drop for ShardPipeline<B> {
 /// Point ops hit the owning backend directly; scans go through the
 /// composite for cross-shard stitching, gated on the composite's merged
 /// capability flags.
+///
+/// Maximal runs of **consecutive** lookups execute through the backend's
+/// [`ConcurrentIndex::get_batch`], so interleaved overrides (ALEX+'s
+/// software-pipelined search) engage automatically for `Request::Get`
+/// traffic. Only consecutive gets are grouped — a get is never hoisted past
+/// a write that precedes it in the sub-batch, preserving the pipeline's
+/// per-shard FIFO semantics (read-your-write within a batch). Lookups are
+/// never capability-gated (mirroring `Request::execute`), so every slot in
+/// a batched run answers `Response::Get`.
 fn execute_sub_batch<B: ConcurrentIndex<u64>>(
     index: &ShardedIndex<u64, B>,
     backend_meta: &IndexMeta,
@@ -499,16 +508,38 @@ fn execute_sub_batch<B: ConcurrentIndex<u64>>(
     job: &Job,
 ) -> Vec<(usize, Response<u64>)> {
     let backend = index.backend(job.shard);
-    job.ops
-        .iter()
-        .map(|&(slot, op)| {
+    let mut out = Vec::with_capacity(job.ops.len());
+    let mut keys: Vec<u64> = Vec::new();
+    let mut results: Vec<Option<gre_core::Payload>> = Vec::new();
+    let mut i = 0usize;
+    while i < job.ops.len() {
+        let run_end = i + job.ops[i..]
+            .iter()
+            .take_while(|(_, op)| matches!(op, Op::Get(_)))
+            .count();
+        if run_end - i >= 2 {
+            keys.clear();
+            keys.extend(job.ops[i..run_end].iter().map(|&(_, op)| match op {
+                Op::Get(k) => k,
+                _ => unreachable!("run contains only gets"),
+            }));
+            backend.get_batch(&keys, &mut results);
+            debug_assert_eq!(results.len(), keys.len());
+            for (&(slot, _), result) in job.ops[i..run_end].iter().zip(results.drain(..)) {
+                out.push((slot, Response::Get(result)));
+            }
+            i = run_end;
+        } else {
+            let (slot, op) = job.ops[i];
             let response = match op {
                 Op::Range(_) => op.execute(index, index_meta),
                 _ => op.execute(backend, backend_meta),
             };
-            (slot, response)
-        })
-        .collect()
+            out.push((slot, response));
+            i += 1;
+        }
+    }
+    out
 }
 
 /// A client-side handle that pipelines many in-flight batches over one
@@ -746,6 +777,28 @@ mod tests {
         assert_eq!(p.index().get(0), Some(99));
         assert_eq!(p.index().get(2), Some(77));
         assert_eq!(p.index().get(4), None);
+    }
+
+    #[test]
+    fn batched_get_runs_keep_submission_order_and_fifo_writes() {
+        let p = pipeline(2, 2);
+        // A long run of gets (exercising the batched path), a write in the
+        // middle (splitting the runs), then gets that must observe it.
+        let mut ops: Vec<Op> = (0..40u64).map(|i| Op::Get(i * 2)).collect();
+        ops.push(Op::Insert(99_999, 7)); // odd key: previously absent
+        ops.push(Op::Get(99_999));
+        ops.push(Op::Get(1)); // still a miss
+        let responses = p.submit(OpBatch::new(ops)).wait();
+        for i in 0..40u64 {
+            assert_eq!(responses[i as usize], Response::Get(Some(i)), "slot {i}");
+        }
+        assert_eq!(responses[40], Response::Insert(true));
+        assert_eq!(
+            responses[41],
+            Response::Get(Some(7)),
+            "a get after a write to the same shard must see it"
+        );
+        assert_eq!(responses[42], Response::Get(None));
     }
 
     #[test]

@@ -19,6 +19,64 @@
 //! pool, and their connections flush buffered and in-flight work when a
 //! phase ends — the driver reports only completed operations, and no
 //! accepted operation is lost when a phase (or the whole run) is cut short.
+//!
+//! Serving a closed-loop mixed phase through the batched pipeline path:
+//!
+//! ```
+//! # use gre_core::{Index, IndexMeta, Payload, RangeSpec};
+//! # use std::collections::BTreeMap;
+//! # #[derive(Default)]
+//! # struct Toy(BTreeMap<u64, Payload>);
+//! # impl Index<u64> for Toy {
+//! #     fn bulk_load(&mut self, entries: &[(u64, Payload)]) {
+//! #         self.0 = entries.iter().copied().collect();
+//! #     }
+//! #     fn get(&self, key: u64) -> Option<Payload> { self.0.get(&key).copied() }
+//! #     fn insert(&mut self, key: u64, value: Payload) -> bool {
+//! #         self.0.insert(key, value).is_none()
+//! #     }
+//! #     fn remove(&mut self, key: u64) -> Option<Payload> { self.0.remove(&key) }
+//! #     fn range(&self, spec: RangeSpec<u64>, out: &mut Vec<(u64, Payload)>) -> usize {
+//! #         let before = out.len();
+//! #         out.extend(self.0.range(spec.start..)
+//! #             .take_while(|(k, _)| spec.end.map_or(true, |e| **k <= e))
+//! #             .take(spec.count).map(|(k, v)| (*k, *v)));
+//! #         out.len() - before
+//! #     }
+//! #     fn len(&self) -> usize { self.0.len() }
+//! #     fn memory_usage(&self) -> usize { 0 }
+//! #     fn meta(&self) -> IndexMeta {
+//! #         IndexMeta { name: "toy", learned: false, concurrent: false,
+//! #                     supports_delete: true, supports_range: true }
+//! #     }
+//! # }
+//! use gre_core::index::MutexIndex;
+//! use gre_shard::{Partitioner, PipelineTarget, ShardedIndex};
+//! use gre_workloads::scenario::{KeyDist, Mix, Pacing, Phase, Scenario, Span};
+//! use gre_workloads::Driver;
+//!
+//! // Four range shards, each its own backend instance.
+//! let store = ShardedIndex::from_factory(Partitioner::range(4), |_| {
+//!     MutexIndex::new(Toy::default(), "toy-shard")
+//! });
+//!
+//! let keys: Vec<u64> = (1..=2_000u64).map(|i| i * 8).collect();
+//! let scenario = Scenario::new("serve-doc", 7, &keys).phase(Phase::new(
+//!     "mixed",
+//!     Mix::points(8, 1, 1, 0), // 80% get / 10% insert / 10% update
+//!     KeyDist::Uniform,
+//!     Span::Ops(4_000),
+//!     Pacing::ClosedLoop { threads: 2 },
+//! ));
+//!
+//! // Two pipeline workers, 128-op batches, submit-then-wait per client.
+//! let mut target = PipelineTarget::new(store, 2, 128);
+//! let result = Driver::new().run(&scenario, &mut target);
+//!
+//! assert_eq!(result.phases[0].ops(), 4_000); // flush covers partial batches
+//! assert_eq!(result.phases[0].tally.errors, 0);
+//! assert!(result.target.contains("pipeline"));
+//! ```
 
 use crate::pipeline::{OpBatch, Session, ShardPipeline};
 use crate::sharded::ShardedIndex;

@@ -162,6 +162,32 @@ impl<K: Key, B: ConcurrentIndex<K>> ConcurrentIndex<K> for ShardedIndex<K, B> {
         self.backends[self.partitioner.shard_of(key)].get(key)
     }
 
+    /// Batched lookups are grouped per shard and forwarded to each backend's
+    /// `get_batch`, so a backend's interleaved override (e.g. ALEX+) is
+    /// reached even through the composite. Results land in input order.
+    fn get_batch(&self, keys: &[K], out: &mut Vec<Option<Payload>>) {
+        out.clear();
+        out.resize(keys.len(), None);
+        let mut by_shard: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            let s = self.partitioner.shard_of(key);
+            match by_shard.iter_mut().find(|(shard, _)| *shard == s) {
+                Some((_, idxs)) => idxs.push(i),
+                None => by_shard.push((s, vec![i])),
+            }
+        }
+        let mut group_keys = Vec::new();
+        let mut group_results = Vec::new();
+        for (shard, idxs) in by_shard {
+            group_keys.clear();
+            group_keys.extend(idxs.iter().map(|&i| keys[i]));
+            self.backends[shard].get_batch(&group_keys, &mut group_results);
+            for (&i, result) in idxs.iter().zip(group_results.drain(..)) {
+                out[i] = result;
+            }
+        }
+    }
+
     fn insert(&self, key: K, value: Payload) -> bool {
         self.backends[self.partitioner.shard_of(key)].insert(key, value)
     }
@@ -391,6 +417,24 @@ mod tests {
         assert_eq!(idx.remove(1), Some(113));
         assert!(!idx.update(1, 114), "update after remove must miss");
         assert_eq!(idx.len(), 4_000);
+    }
+
+    #[test]
+    fn get_batch_routes_per_shard_and_preserves_order() {
+        for partitioner in [Partitioner::range(8), Partitioner::hash(8)] {
+            let mut idx = sharded(partitioner);
+            idx.bulk_load(&entries(4_000));
+            let mut keys: Vec<u64> = (0..333u64)
+                .map(|i| (i.wrapping_mul(0x9e37_79b9) % 5_000) * 7 + (i % 2))
+                .collect();
+            keys.push(keys[7]);
+            let mut batched = vec![Some(9)]; // stale content must be cleared
+            idx.get_batch(&keys, &mut batched);
+            let scalar: Vec<_> = keys.iter().map(|&k| idx.get(k)).collect();
+            assert_eq!(batched, scalar);
+            assert!(batched.iter().any(|r| r.is_some()));
+            assert!(batched.iter().any(|r| r.is_none()));
+        }
     }
 
     #[test]

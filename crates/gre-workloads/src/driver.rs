@@ -19,6 +19,60 @@
 //! One driver thread drives one [`Connection`]; targets decide what a
 //! connection means (direct calls, a batch buffer over a pipeline, a
 //! pipelined session window).
+//!
+//! Driving a scenario against a bare backend (any [`ConcurrentIndex`] is a
+//! [`ServeTarget`] through the blanket impl):
+//!
+//! ```
+//! # use gre_core::{Index, IndexMeta, Payload, RangeSpec};
+//! # use std::collections::BTreeMap;
+//! # #[derive(Default)]
+//! # struct Toy(BTreeMap<u64, Payload>);
+//! # impl Index<u64> for Toy {
+//! #     fn bulk_load(&mut self, entries: &[(u64, Payload)]) {
+//! #         self.0 = entries.iter().copied().collect();
+//! #     }
+//! #     fn get(&self, key: u64) -> Option<Payload> { self.0.get(&key).copied() }
+//! #     fn insert(&mut self, key: u64, value: Payload) -> bool {
+//! #         self.0.insert(key, value).is_none()
+//! #     }
+//! #     fn remove(&mut self, key: u64) -> Option<Payload> { self.0.remove(&key) }
+//! #     fn range(&self, spec: RangeSpec<u64>, out: &mut Vec<(u64, Payload)>) -> usize {
+//! #         let before = out.len();
+//! #         out.extend(self.0.range(spec.start..)
+//! #             .take_while(|(k, _)| spec.end.map_or(true, |e| **k <= e))
+//! #             .take(spec.count).map(|(k, v)| (*k, *v)));
+//! #         out.len() - before
+//! #     }
+//! #     fn len(&self) -> usize { self.0.len() }
+//! #     fn memory_usage(&self) -> usize { 0 }
+//! #     fn meta(&self) -> IndexMeta {
+//! #         IndexMeta { name: "toy", learned: false, concurrent: false,
+//! #                     supports_delete: true, supports_range: true }
+//! #     }
+//! # }
+//! use gre_core::index::MutexIndex;
+//! use gre_workloads::scenario::{KeyDist, Mix, Pacing, Phase, Scenario, Span};
+//! use gre_workloads::Driver;
+//!
+//! let keys: Vec<u64> = (1..=1_000u64).map(|i| i * 4).collect();
+//! let scenario = Scenario::new("driver-doc", 42, &keys).phase(Phase::new(
+//!     "reads",
+//!     Mix::read_only(),
+//!     KeyDist::Zipf { theta: 0.99 },
+//!     Span::Ops(2_000),
+//!     Pacing::ClosedLoop { threads: 2 },
+//! ));
+//!
+//! // `Toy` is any `Index` impl; `MutexIndex` lifts it to `ConcurrentIndex`.
+//! let mut index = MutexIndex::new(Toy::default(), "toy");
+//! let result = Driver::new().run(&scenario, &mut index);
+//!
+//! let phase = &result.phases[0];
+//! assert_eq!(phase.ops(), 2_000);
+//! assert_eq!(phase.tally.hits, 2_000); // read-only over loaded keys
+//! println!("{}: {:.2} Mop/s", phase.phase, phase.throughput_mops());
+//! ```
 
 use crate::runner::{LatencySummary, LATENCY_SAMPLE_RATE};
 use crate::scenario::{phase_stream, OpStream, Pacing, Phase, Scenario, Span};
@@ -132,6 +186,13 @@ impl PhaseRecorder {
     pub fn complete_untimed(&mut self, response: &Response<u64>) {
         self.bump_interval();
         self.tally.record(response);
+    }
+
+    /// The typed-response counters accumulated so far — for custom targets
+    /// and tests that drive a [`Connection`] directly, outside a full
+    /// [`Driver::run`].
+    pub fn tally(&self) -> &Tally {
+        &self.tally
     }
 
     #[inline]

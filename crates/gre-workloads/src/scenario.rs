@@ -21,6 +21,35 @@
 //! `(scenario seed, phase index, thread index)`, so the offered traffic is
 //! reproducible and identical across serving targets regardless of timing —
 //! the property the cross-target equivalence tests rely on.
+//!
+//! A two-phase script — a skewed closed-loop warm-up, then a paced
+//! open-loop read/insert mix:
+//!
+//! ```
+//! use gre_workloads::scenario::{KeyDist, Mix, Pacing, Phase, Scenario, Span};
+//! use std::time::Duration;
+//!
+//! let keys: Vec<u64> = (1..=10_000u64).map(|i| i * 16).collect();
+//! let scenario = Scenario::new("warm-then-burst", 42, &keys)
+//!     .phase(Phase::new(
+//!         "warm",
+//!         Mix::read_only(),
+//!         KeyDist::Zipf { theta: 0.99 },
+//!         Span::Ops(100_000),
+//!         Pacing::ClosedLoop { threads: 4 },
+//!     ))
+//!     .phase(Phase::new(
+//!         "burst",
+//!         Mix::read_mostly(5), // 95% get / 5% insert
+//!         KeyDist::Uniform,
+//!         Span::Time(Duration::from_secs(5)),
+//!         Pacing::OpenLoop { rate_ops_s: 50_000.0 },
+//!     ));
+//!
+//! assert_eq!(scenario.phases.len(), 2);
+//! // The bulk-load set is deduped, sorted, and paired with payloads.
+//! assert_eq!(scenario.bulk.len(), 10_000);
+//! ```
 
 use crate::spec::{payload_for, Op, Workload};
 use crate::zipf::ScrambledZipf;
