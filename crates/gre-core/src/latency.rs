@@ -20,7 +20,12 @@ use crate::ops::RequestKind;
 const SUB_BITS: u32 = 5;
 const SUB: usize = 1 << SUB_BITS;
 /// Bucket count covering the full `u64` range.
-const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+///
+/// Public so concurrent recorders (e.g. the atomic histograms in
+/// `gre-telemetry`) can mirror the same bucket layout and later rebuild a
+/// [`LatencyHistogram`] from their bucket counts.
+pub const BUCKET_COUNT: usize = (64 - SUB_BITS as usize + 1) * SUB;
+const BUCKETS: usize = BUCKET_COUNT;
 
 /// A fixed-size log-linear histogram of nanosecond latencies.
 ///
@@ -140,6 +145,27 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Record the same value `n` times in one constant-time step.
+    ///
+    /// This is how concurrent bucket recorders (which only keep per-bucket
+    /// counts) rebuild a `LatencyHistogram` snapshot: replay each occupied
+    /// bucket as `n` observations of a representative value. Percentiles of
+    /// the rebuilt histogram are exact to bucket resolution; mean/min/max
+    /// carry the representative-value approximation (~3%).
+    #[inline]
+    pub fn record_n(&mut self, ns: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(ns)] += n;
+        self.count += n;
+        self.sum += ns as u128 * n as u128;
+        let v = ns as f64;
+        self.sum_sq += v * v * n as f64;
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
     /// Bucket-wise accumulation of another histogram.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -151,6 +177,20 @@ impl LatencyHistogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+}
+
+/// The bucket index holding value `v` under the shared log-linear layout.
+///
+/// Exposed so lock-free recorders can bucket values with the exact same
+/// mapping as [`LatencyHistogram`] and hand snapshots back losslessly.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    bucket_of(v)
+}
+
+/// Lowest value and width of bucket `b` (companion to [`bucket_index`]).
+pub fn bucket_span(b: usize) -> (u64, u64) {
+    bucket_bounds(b)
 }
 
 /// The bucket index holding value `v`.
@@ -297,6 +337,37 @@ mod tests {
         for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
             assert_eq!(a.percentile(p), whole.percentile(p), "p{p}");
         }
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut one = LatencyHistogram::new();
+        let mut bulk = LatencyHistogram::new();
+        for v in [7u64, 550, 9_999, 1 << 40] {
+            for _ in 0..13 {
+                one.record(v);
+            }
+            bulk.record_n(v, 13);
+        }
+        bulk.record_n(123, 0); // no-op
+        assert_eq!(one.count(), bulk.count());
+        assert_eq!(one.min(), bulk.min());
+        assert_eq!(one.max(), bulk.max());
+        assert!((one.mean() - bulk.mean()).abs() < 1e-6);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.percentile(p), bulk.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn public_bucket_api_matches_private_layout() {
+        for v in [0u64, 1, 31, 32, 1_000, u64::MAX] {
+            let b = bucket_index(v);
+            assert_eq!(b, bucket_of(v));
+            let (low, width) = bucket_span(b);
+            assert!(low <= v && (v - low) < width || v < SUB as u64 && width == 1);
+        }
+        assert_eq!(BUCKET_COUNT, BUCKETS);
     }
 
     #[test]

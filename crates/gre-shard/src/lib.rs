@@ -37,6 +37,13 @@
 //!   into the `gre-workloads` scenario [`Driver`](gre_workloads::Driver) as
 //!   [`ServeTarget`](gre_workloads::ServeTarget)s, next to the blanket
 //!   bare-backend target.
+//!
+//! The pipeline and both serve targets can carry a
+//! [`Telemetry`](gre_telemetry::Telemetry) registry
+//! ([`ShardPipeline::with_telemetry`], `PipelineTarget::instrumented`):
+//! per-shard queue/in-flight gauges, sub-batch histograms, outcome counters
+//! mirroring the driver's tally, and 1-in-N sampled request spans. The
+//! uninstrumented path records nothing and reads no clocks.
 
 pub mod partition;
 pub mod pipeline;
@@ -48,5 +55,5 @@ pub use pipeline::{
     Backpressure, BackpressureReason, BatchResult, OpBatch, Session, ShardPipeline, SubmitHandle,
     DEFAULT_MAX_INFLIGHT, DEFAULT_QUEUE_CAPACITY,
 };
-pub use serve::{PipelineTarget, SessionTarget, DEFAULT_DRIVER_BATCH};
+pub use serve::{reconcile_tally, PipelineTarget, SessionTarget, DEFAULT_DRIVER_BATCH};
 pub use sharded::ShardedIndex;

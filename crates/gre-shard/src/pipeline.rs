@@ -36,6 +36,9 @@
 
 use crate::sharded::ShardedIndex;
 use gre_core::{ConcurrentIndex, IndexMeta, Response};
+use gre_telemetry::{
+    CounterId, CounterStripe, GaugeId, GlobalHistId, ShardHistId, SpanRecord, Telemetry,
+};
 use gre_workloads::{split_indexed_ops_by_shard, Op};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -270,6 +273,20 @@ struct Job {
     /// `(submission index, op)` pairs — the index addresses the result slot.
     ops: Vec<(usize, Op)>,
     shared: Arc<BatchShared>,
+    /// Enqueue timestamp (telemetry epoch ns); 0 when telemetry is off.
+    enqueue_ns: u64,
+    /// The sampled span this sub-batch carries, if any.
+    trace: Option<PendingSpan>,
+}
+
+/// Submit-side half of a sampled span, completed by the executing worker.
+struct PendingSpan {
+    /// Index into `Job::ops` of the traced operation.
+    pos: usize,
+    /// Global sample ticket of the traced op.
+    op_id: u64,
+    submit_ns: u64,
+    route_ns: u64,
 }
 
 /// State shared by the pipeline handle and its workers for queue accounting.
@@ -296,6 +313,7 @@ pub struct ShardPipeline<B: ConcurrentIndex<u64> + 'static> {
     workers: Vec<JoinHandle<()>>,
     gauge: Arc<QueueGauge>,
     queue_capacity: usize,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
@@ -314,6 +332,35 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
         workers: usize,
         queue_capacity: usize,
     ) -> Self {
+        Self::build(index, workers, queue_capacity, None)
+    }
+
+    /// Like [`ShardPipeline::with_queue_capacity`], with every submission
+    /// and execution recorded into `telemetry` (counters, per-shard gauges
+    /// and histograms, sampled spans — see `gre-telemetry`).
+    ///
+    /// # Panics
+    /// If `telemetry` was sized for a different shard count than `index`.
+    pub fn with_telemetry(
+        index: Arc<ShardedIndex<u64, B>>,
+        workers: usize,
+        queue_capacity: usize,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
+        assert_eq!(
+            telemetry.metrics().shard_count(),
+            index.num_shards(),
+            "telemetry shard count must match the served index"
+        );
+        Self::build(index, workers, queue_capacity, Some(telemetry))
+    }
+
+    fn build(
+        index: Arc<ShardedIndex<u64, B>>,
+        workers: usize,
+        queue_capacity: usize,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Self {
         let workers = workers.clamp(1, index.num_shards());
         let gauge = Arc::new(QueueGauge {
             depths: (0..index.num_shards())
@@ -325,10 +372,11 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
         });
         let mut queues = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for worker_id in 0..workers {
             let (tx, rx) = channel::<Job>();
             let index = Arc::clone(&index);
             let gauge = Arc::clone(&gauge);
+            let telemetry = telemetry.clone();
             handles.push(std::thread::spawn(move || {
                 // Capability metadata is static per backend; resolve it once
                 // instead of per operation (composite meta takes locks).
@@ -337,8 +385,45 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
                     .map(|s| index.backend(s).meta())
                     .collect();
                 while let Ok(job) = rx.recv() {
-                    let responses =
+                    // Dequeue-side telemetry: queue wait and sub-batch size,
+                    // stamped before execution so service time is separable.
+                    let execute_ns = telemetry.as_deref().map(|t| {
+                        let now = t.now_ns();
+                        let scope = t.metrics().shard(job.shard);
+                        scope
+                            .hist(ShardHistId::QueueWaitNs)
+                            .record(now.saturating_sub(job.enqueue_ns));
+                        scope
+                            .hist(ShardHistId::SubBatchSize)
+                            .record(job.ops.len() as u64);
+                        now
+                    });
+                    let (responses, batched_gets) =
                         execute_sub_batch(&index, &backend_metas[job.shard], &index_meta, &job);
+                    debug_assert_eq!(
+                        responses.len(),
+                        job.ops.len(),
+                        "every submitted op must have exactly one response"
+                    );
+                    // All counters and gauges a snapshot must reconcile are
+                    // updated *before* the responses become visible below:
+                    // once a client observes its batch complete, a snapshot
+                    // accounts for every one of its ops.
+                    let complete_ns = telemetry.as_deref().map(|t| {
+                        let now = t.now_ns();
+                        let stripe = t.metrics().stripe(worker_id);
+                        let scope = t.metrics().shard(job.shard);
+                        scope
+                            .hist(ShardHistId::ServiceNs)
+                            .record(now.saturating_sub(execute_ns.unwrap_or(now)));
+                        stripe.inc(CounterId::SubBatchesExecuted);
+                        stripe.add(CounterId::BatchedGetOps, batched_gets as u64);
+                        count_outcomes(stripe, &responses);
+                        scope.gauge_add(GaugeId::QueueDepth, -1);
+                        scope.gauge_add(GaugeId::InFlightOps, -(job.ops.len() as i64));
+                        scope.add_ops_completed(job.ops.len() as u64);
+                        now
+                    });
                     {
                         let mut state = job.shared.state.lock().expect("pipeline poisoned");
                         for (slot, response) in responses {
@@ -360,6 +445,24 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
                         let _g = gauge.lock.lock().expect("pipeline poisoned");
                         gauge.freed.notify_all();
                     }
+                    if let Some(t) = telemetry.as_deref() {
+                        if let (Some(ring), Some(span)) = (t.trace(), &job.trace) {
+                            let (_, op) = job.ops[span.pos];
+                            ring.record(SpanRecord {
+                                op_id: span.op_id,
+                                kind: op.kind(),
+                                shard: job.shard as u32,
+                                batch_ops: job.ops.len() as u32,
+                                submit_ns: span.submit_ns,
+                                route_ns: span.route_ns,
+                                enqueue_ns: job.enqueue_ns,
+                                execute_ns: execute_ns.unwrap_or(0),
+                                complete_ns: complete_ns.unwrap_or(0),
+                                respond_ns: t.now_ns(),
+                            });
+                            t.metrics().stripe(worker_id).inc(CounterId::TraceSpans);
+                        }
+                    }
                 }
             }));
             queues.push(tx);
@@ -370,7 +473,14 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
             workers: handles,
             gauge,
             queue_capacity: queue_capacity.max(1),
+            telemetry,
         }
+    }
+
+    /// The attached telemetry, when this pipeline was built with
+    /// [`ShardPipeline::with_telemetry`].
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// The served index (for reads outside the batch path).
@@ -397,8 +507,12 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
         let shards = self.index.num_shards();
         let partitioner = self.index.partitioner();
         let ops = batch.ops.len();
+        // Submit-side span timestamps; both stay 0 when telemetry is off,
+        // keeping the uninstrumented hot path clock-free.
+        let submit_ns = self.telemetry.as_deref().map_or(0, Telemetry::now_ns);
         let sub_batches =
             split_indexed_ops_by_shard(&batch.ops, shards, |k| partitioner.shard_of(k));
+        let route_ns = self.telemetry.as_deref().map_or(0, Telemetry::now_ns);
 
         // Reserve queue slots before enqueueing anything, so a rejected
         // batch leaves no partial work behind.
@@ -413,6 +527,11 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
                 for &s in &reserved {
                     self.gauge.depths[s].fetch_sub(1, Ordering::SeqCst);
                 }
+                if let Some(t) = self.telemetry.as_deref() {
+                    t.metrics()
+                        .stripe(self.workers.len())
+                        .inc(CounterId::BatchesRejected);
+                }
                 return Err(Backpressure {
                     batch,
                     reason: BackpressureReason::QueueFull { shard },
@@ -421,16 +540,63 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
             reserved.push(shard);
         }
 
+        // Accepted: account the batch and pick the traced op (if the 1-in-N
+        // sampler lands inside this batch). Sampling happens only after
+        // acceptance so rejected batches never consume sample tickets.
+        let mut enqueue_ns = 0u64;
+        let mut traced: Option<(usize, PendingSpan)> = None;
+        if let Some(t) = self.telemetry.as_deref() {
+            enqueue_ns = t.now_ns();
+            // Submitters share the stripe after the workers' (wraps when
+            // telemetry was sized with exactly `workers` stripes).
+            let stripe = t.metrics().stripe(self.workers.len());
+            stripe.inc(CounterId::BatchesSubmitted);
+            stripe.add(CounterId::OpsSubmitted, ops as u64);
+            t.metrics()
+                .global(GlobalHistId::BatchOps)
+                .record(ops as u64);
+            for (shard, sub) in sub_batches.iter().enumerate() {
+                if !sub.is_empty() {
+                    let scope = t.metrics().shard(shard);
+                    scope.gauge_add(GaugeId::QueueDepth, 1);
+                    scope.gauge_add(GaugeId::InFlightOps, sub.len() as i64);
+                }
+            }
+            if t.trace().is_some() {
+                if let Some((op_id, offset)) = t.sampler().claim(ops as u64) {
+                    traced = sub_batches.iter().enumerate().find_map(|(shard, sub)| {
+                        sub.iter().position(|&(i, _)| i == offset).map(|pos| {
+                            (
+                                shard,
+                                PendingSpan {
+                                    pos,
+                                    op_id,
+                                    submit_ns,
+                                    route_ns,
+                                },
+                            )
+                        })
+                    });
+                }
+            }
+        }
+
         let shared = Arc::new(BatchShared::new(ops, reserved.len()));
         for (shard, sub) in sub_batches.into_iter().enumerate() {
             if sub.is_empty() {
                 continue;
             }
+            let trace = match &mut traced {
+                Some((s, _)) if *s == shard => traced.take().map(|(_, span)| span),
+                _ => None,
+            };
             self.queues[shard % self.queues.len()]
                 .send(Job {
                     shard,
                     ops: sub,
                     shared: Arc::clone(&shared),
+                    enqueue_ns,
+                    trace,
                 })
                 .expect("pipeline worker exited early");
         }
@@ -506,9 +672,10 @@ fn execute_sub_batch<B: ConcurrentIndex<u64>>(
     backend_meta: &IndexMeta,
     index_meta: &IndexMeta,
     job: &Job,
-) -> Vec<(usize, Response<u64>)> {
+) -> (Vec<(usize, Response<u64>)>, usize) {
     let backend = index.backend(job.shard);
     let mut out = Vec::with_capacity(job.ops.len());
+    let mut batched_gets = 0usize;
     let mut keys: Vec<u64> = Vec::new();
     let mut results: Vec<Option<gre_core::Payload>> = Vec::new();
     let mut i = 0usize;
@@ -525,6 +692,7 @@ fn execute_sub_batch<B: ConcurrentIndex<u64>>(
             }));
             backend.get_batch(&keys, &mut results);
             debug_assert_eq!(results.len(), keys.len());
+            batched_gets += keys.len();
             for (&(slot, _), result) in job.ops[i..run_end].iter().zip(results.drain(..)) {
                 out.push((slot, Response::Get(result)));
             }
@@ -539,7 +707,47 @@ fn execute_sub_batch<B: ConcurrentIndex<u64>>(
             i += 1;
         }
     }
-    out
+    (out, batched_gets)
+}
+
+/// Fold one sub-batch's typed responses into the worker's counter stripe.
+/// Accumulates locally and issues one relaxed add per touched counter, so
+/// the per-op cost is a branchy match, not an atomic op.
+///
+/// The outcome definitions mirror `gre_workloads::driver::Tally::record`
+/// exactly — that equivalence is what lets telemetry counters be
+/// cross-checked against the driver's ground-truth tally (see the
+/// reconciliation test in `tests/telemetry_pipeline.rs`).
+fn count_outcomes(stripe: &CounterStripe, responses: &[(usize, Response<u64>)]) {
+    let (mut hits, mut new_keys, mut updated, mut removed) = (0u64, 0u64, 0u64, 0u64);
+    let (mut scanned, mut scans, mut errors) = (0u64, 0u64, 0u64);
+    for (_, resp) in responses {
+        match resp {
+            Response::Get(found) => hits += u64::from(found.is_some()),
+            Response::Insert(new) => new_keys += u64::from(*new),
+            Response::Update(hit) => updated += u64::from(*hit),
+            Response::Remove(r) => removed += u64::from(r.is_some()),
+            Response::Range(entries) => {
+                scans += 1;
+                scanned += entries.len() as u64;
+            }
+            Response::Error(_) => errors += 1,
+        }
+    }
+    stripe.add(CounterId::OpsCompleted, responses.len() as u64);
+    for (id, n) in [
+        (CounterId::GetHits, hits),
+        (CounterId::InsertedNew, new_keys),
+        (CounterId::Updated, updated),
+        (CounterId::Removed, removed),
+        (CounterId::ScannedKeys, scanned),
+        (CounterId::RangeScans, scans),
+        (CounterId::OpErrors, errors),
+    ] {
+        if n > 0 {
+            stripe.add(id, n);
+        }
+    }
 }
 
 /// A client-side handle that pipelines many in-flight batches over one
@@ -595,6 +803,7 @@ impl<'p, B: ConcurrentIndex<u64> + 'static> Session<'p, B> {
             self.completed.push_back(handle.wait());
         }
         self.inflight.push_back(self.pipeline.submit(batch));
+        self.record_window();
     }
 
     /// Non-blocking submit: `Err(Backpressure)` if the in-flight window
@@ -610,7 +819,18 @@ impl<'p, B: ConcurrentIndex<u64> + 'static> Session<'p, B> {
             });
         }
         self.inflight.push_back(self.pipeline.try_submit(batch)?);
+        self.record_window();
         Ok(())
+    }
+
+    /// Sample the in-flight window occupancy (including the batch just
+    /// submitted) into the session-window histogram.
+    fn record_window(&self) {
+        if let Some(t) = self.pipeline.telemetry() {
+            t.metrics()
+                .global(GlobalHistId::SessionWindow)
+                .record(self.inflight.len() as u64);
+        }
     }
 
     /// The oldest unreturned batch's responses, if it has completed

@@ -78,10 +78,11 @@
 //! assert!(result.target.contains("pipeline"));
 //! ```
 
-use crate::pipeline::{OpBatch, Session, ShardPipeline};
+use crate::pipeline::{OpBatch, Session, ShardPipeline, DEFAULT_QUEUE_CAPACITY};
 use crate::sharded::ShardedIndex;
 use gre_core::ops::RequestKind;
 use gre_core::{ConcurrentIndex, Payload};
+use gre_telemetry::{Telemetry, TelemetryConfig};
 use gre_workloads::driver::{Connection, PhaseRecorder, ServeTarget};
 use gre_workloads::Op;
 use std::collections::VecDeque;
@@ -107,6 +108,49 @@ fn record_batch(rec: &mut PhaseRecorder, meta: &BatchMeta, responses: &[gre_core
     }
 }
 
+/// Check that a telemetry snapshot agrees *exactly* with the driver-side
+/// typed-response tally of the ops served through it: the two count the
+/// same outcomes from opposite ends of the pipeline (workers classifying
+/// responses vs. the recorder classifying the responses it hands back), so
+/// on a drained pipeline every pair must match. Returns the first mismatch.
+///
+/// Used by the telemetry integration tests and as a debug assertion in the
+/// observability binary; `tally` must cover every phase served since the
+/// telemetry was attached.
+pub fn reconcile_tally(
+    snap: &gre_telemetry::MetricsSnapshot,
+    tally: &gre_workloads::driver::Tally,
+) -> Result<(), String> {
+    use gre_telemetry::CounterId;
+    let pairs = [
+        (CounterId::OpsSubmitted, tally.ops),
+        (CounterId::OpsCompleted, tally.ops),
+        (CounterId::GetHits, tally.hits),
+        (CounterId::InsertedNew, tally.new_keys),
+        (CounterId::Updated, tally.updated),
+        (CounterId::Removed, tally.removed),
+        (CounterId::ScannedKeys, tally.scanned_keys),
+        (CounterId::OpErrors, tally.errors),
+    ];
+    for (id, expected) in pairs {
+        let got = snap.counter(id);
+        if got != expected {
+            return Err(format!(
+                "counter {} = {got}, driver tally says {expected}",
+                id.name()
+            ));
+        }
+    }
+    let per_shard: u64 = snap.shards.iter().map(|s| s.ops_completed).sum();
+    if per_shard != tally.ops {
+        return Err(format!(
+            "per-shard ops_completed sum to {per_shard}, driver tally says {}",
+            tally.ops
+        ));
+    }
+    Ok(())
+}
+
 /// The shared core of both adapters: the sharded composite plus the worker
 /// pool serving it (created at [`ServeTarget::load`] time, after the bulk
 /// load, because loading needs exclusive access to the composite).
@@ -115,6 +159,7 @@ struct PipelineCore<B: ConcurrentIndex<u64> + 'static> {
     pipeline: Option<ShardPipeline<B>>,
     workers: usize,
     batch: usize,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl<B: ConcurrentIndex<u64> + 'static> PipelineCore<B> {
@@ -124,14 +169,35 @@ impl<B: ConcurrentIndex<u64> + 'static> PipelineCore<B> {
             pipeline: None,
             workers,
             batch: batch.max(1),
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry registry sized for this target's topology: one
+    /// scope per shard, one counter stripe per worker plus a dedicated
+    /// stripe for submitters. `configure` tweaks the trace options on top
+    /// of the trace-enabled defaults.
+    fn instrument(&mut self, configure: impl FnOnce(TelemetryConfig) -> TelemetryConfig) {
+        let config = configure(TelemetryConfig::new(
+            self.index.num_shards(),
+            self.workers + 1,
+        ));
+        self.telemetry = Some(Arc::new(Telemetry::new(config)));
     }
 
     fn load(&mut self, entries: &[(u64, Payload)]) {
         Arc::get_mut(&mut self.index)
             .expect("load() must run before the worker pool is spawned")
             .bulk_load(entries);
-        self.pipeline = Some(ShardPipeline::new(Arc::clone(&self.index), self.workers));
+        self.pipeline = Some(match &self.telemetry {
+            Some(t) => ShardPipeline::with_telemetry(
+                Arc::clone(&self.index),
+                self.workers,
+                DEFAULT_QUEUE_CAPACITY,
+                Arc::clone(t),
+            ),
+            None => ShardPipeline::new(Arc::clone(&self.index), self.workers),
+        });
     }
 
     fn pipeline(&self) -> &ShardPipeline<B> {
@@ -158,6 +224,29 @@ impl<B: ConcurrentIndex<u64> + 'static> PipelineTarget<B> {
     /// The served composite (for post-run verification).
     pub fn index(&self) -> &ShardedIndex<u64, B> {
         &self.core.index
+    }
+
+    /// Attach runtime telemetry with trace-enabled defaults; the registry
+    /// is sized for this target's topology and shared with the pipeline
+    /// built at load time. Retrieve it via [`PipelineTarget::telemetry`].
+    pub fn instrumented(self) -> Self {
+        self.instrumented_with(|c| c)
+    }
+
+    /// Like [`PipelineTarget::instrumented`], with `configure` applied to
+    /// the default [`TelemetryConfig`] (e.g. to change the trace sampling
+    /// period or disable the tracer).
+    pub fn instrumented_with(
+        mut self,
+        configure: impl FnOnce(TelemetryConfig) -> TelemetryConfig,
+    ) -> Self {
+        self.core.instrument(configure);
+        self
+    }
+
+    /// The attached telemetry, when [`PipelineTarget::instrumented`].
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.core.telemetry.as_ref()
     }
 }
 
@@ -251,6 +340,27 @@ impl<B: ConcurrentIndex<u64> + 'static> SessionTarget<B> {
     /// The served composite (for post-run verification).
     pub fn index(&self) -> &ShardedIndex<u64, B> {
         &self.core.index
+    }
+
+    /// Attach runtime telemetry with trace-enabled defaults; see
+    /// [`PipelineTarget::instrumented`].
+    pub fn instrumented(self) -> Self {
+        self.instrumented_with(|c| c)
+    }
+
+    /// Like [`SessionTarget::instrumented`], with `configure` applied to
+    /// the default [`TelemetryConfig`].
+    pub fn instrumented_with(
+        mut self,
+        configure: impl FnOnce(TelemetryConfig) -> TelemetryConfig,
+    ) -> Self {
+        self.core.instrument(configure);
+        self
+    }
+
+    /// The attached telemetry, when [`SessionTarget::instrumented`].
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.core.telemetry.as_ref()
     }
 }
 
@@ -453,6 +563,37 @@ mod tests {
             4_000 + p.tally.new_keys - p.tally.removed
         );
         assert!(result.target.contains("session"));
+    }
+
+    #[test]
+    fn instrumented_target_counts_every_completed_op() {
+        use gre_telemetry::{CounterId, GaugeId, GlobalHistId};
+
+        let mut target =
+            SessionTarget::new(sharded(4), 2, 128, 8).instrumented_with(|c| c.trace_sample(64));
+        let result = Driver::new().run(&scenario(5_000, 2), &mut target);
+        let p = &result.phases[0];
+        assert_eq!(p.ops(), 5_000);
+
+        let t = target.telemetry().expect("instrumented");
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(CounterId::OpsSubmitted), 5_000);
+        assert_eq!(snap.counter(CounterId::OpsCompleted), 5_000);
+        assert_eq!(snap.counter(CounterId::GetHits), p.tally.hits);
+        assert_eq!(snap.counter(CounterId::ScannedKeys), p.tally.scanned_keys);
+        // Per-shard completions sum to the total, and the drained pipeline
+        // leaves no residual queue depth or in-flight ops.
+        let per_shard: u64 = snap.shards.iter().map(|s| s.ops_completed).sum();
+        assert_eq!(per_shard, 5_000);
+        for shard in &snap.shards {
+            assert_eq!(shard.gauge(GaugeId::QueueDepth), 0);
+            assert_eq!(shard.gauge(GaugeId::InFlightOps), 0);
+        }
+        // Sessions record their in-flight window occupancy on every submit.
+        assert!(snap.global(GlobalHistId::SessionWindow).count() > 0);
+        // The 1-in-64 sampler left spans in the ring.
+        assert!(t.trace().expect("tracing on").recorded() > 0);
+        assert!(snap.counter(CounterId::TraceSpans) > 0);
     }
 
     #[test]

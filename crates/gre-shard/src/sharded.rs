@@ -165,24 +165,62 @@ impl<K: Key, B: ConcurrentIndex<K>> ConcurrentIndex<K> for ShardedIndex<K, B> {
     /// Batched lookups are grouped per shard and forwarded to each backend's
     /// `get_batch`, so a backend's interleaved override (e.g. ALEX+) is
     /// reached even through the composite. Results land in input order.
+    ///
+    /// Regrouping is a two-pass counting sort — route every key once
+    /// (memoized), prefix-sum the per-shard counts, scatter into one
+    /// contiguous scratch buffer — so the cost is O(keys + shards) with a
+    /// fixed handful of allocations, instead of the per-key group search
+    /// and per-shard buffers a naive regroup pays. Single-shard batches
+    /// (every key routed the same way) skip the scatter entirely and
+    /// forward `keys` as-is.
     fn get_batch(&self, keys: &[K], out: &mut Vec<Option<Payload>>) {
         out.clear();
         out.resize(keys.len(), None);
-        let mut by_shard: Vec<(usize, Vec<usize>)> = Vec::new();
-        for (i, &key) in keys.iter().enumerate() {
-            let s = self.partitioner.shard_of(key);
-            match by_shard.iter_mut().find(|(shard, _)| *shard == s) {
-                Some((_, idxs)) => idxs.push(i),
-                None => by_shard.push((s, vec![i])),
-            }
+        if keys.is_empty() {
+            return;
         }
-        let mut group_keys = Vec::new();
-        let mut group_results = Vec::new();
-        for (shard, idxs) in by_shard {
+        let shards = self.backends.len();
+        if shards == 1 {
+            self.backends[0].get_batch(keys, out);
+            return;
+        }
+        // Pass 1: route each key once, counting per-shard group sizes.
+        let mut routed: Vec<u32> = Vec::with_capacity(keys.len());
+        let mut counts: Vec<usize> = vec![0; shards];
+        for &key in keys {
+            let s = self.partitioner.shard_of(key);
+            routed.push(s as u32);
+            counts[s] += 1;
+        }
+        if counts[routed[0] as usize] == keys.len() {
+            // Every key landed on one shard: no regrouping needed.
+            self.backends[routed[0] as usize].get_batch(keys, out);
+            return;
+        }
+        // Pass 2: prefix-sum offsets, then scatter keys (and their input
+        // positions) into per-shard contiguous runs of one scratch buffer.
+        let mut starts = vec![0usize; shards + 1];
+        for s in 0..shards {
+            starts[s + 1] = starts[s] + counts[s];
+        }
+        let mut grouped: Vec<(K, usize)> = vec![(keys[0], 0); keys.len()];
+        let mut cursors = starts.clone();
+        for (i, &key) in keys.iter().enumerate() {
+            let s = routed[i] as usize;
+            grouped[cursors[s]] = (key, i);
+            cursors[s] += 1;
+        }
+        let mut group_keys: Vec<K> = Vec::with_capacity(keys.len());
+        let mut group_results: Vec<Option<Payload>> = Vec::new();
+        for s in 0..shards {
+            let run = &grouped[starts[s]..starts[s + 1]];
+            if run.is_empty() {
+                continue;
+            }
             group_keys.clear();
-            group_keys.extend(idxs.iter().map(|&i| keys[i]));
-            self.backends[shard].get_batch(&group_keys, &mut group_results);
-            for (&i, result) in idxs.iter().zip(group_results.drain(..)) {
+            group_keys.extend(run.iter().map(|&(k, _)| k));
+            self.backends[s].get_batch(&group_keys, &mut group_results);
+            for (&(_, i), result) in run.iter().zip(group_results.drain(..)) {
                 out[i] = result;
             }
         }

@@ -78,7 +78,7 @@ use crate::runner::{LatencySummary, LATENCY_SAMPLE_RATE};
 use crate::scenario::{phase_stream, OpStream, Pacing, Phase, Scenario, Span};
 use crate::spec::Op;
 use gre_core::ops::RequestKind;
-use gre_core::{ConcurrentIndex, IndexMeta, KindLatency, Payload, Response};
+use gre_core::{ConcurrentIndex, IndexMeta, KindLatency, LatencyHistogram, Payload, Response};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -145,6 +145,10 @@ pub struct PhaseRecorder {
     latency: KindLatency,
     tally: Tally,
     intervals: Vec<u64>,
+    /// One latency histogram per interval, fed by timed completions only
+    /// (grown lazily; may be shorter than `intervals` when the tail saw
+    /// only untimed ops).
+    interval_latency: Vec<LatencyHistogram>,
     /// Interval of the most recent timestamped completion; untimed
     /// (unsampled closed-loop) completions are attributed here.
     last_bucket: usize,
@@ -158,6 +162,7 @@ impl PhaseRecorder {
             latency: KindLatency::new(),
             tally: Tally::default(),
             intervals: Vec::new(),
+            interval_latency: Vec::new(),
             last_bucket: 0,
         }
     }
@@ -176,6 +181,11 @@ impl PhaseRecorder {
         self.latency.record(kind, ns);
         let since_start = now.saturating_duration_since(self.phase_start).as_nanos() as u64;
         self.last_bucket = (since_start / self.interval_ns) as usize;
+        if self.last_bucket >= self.interval_latency.len() {
+            self.interval_latency
+                .resize_with(self.last_bucket + 1, LatencyHistogram::new);
+        }
+        self.interval_latency[self.last_bucket].record(ns);
         self.bump_interval();
         self.tally.record(response);
     }
@@ -203,7 +213,13 @@ impl PhaseRecorder {
         self.intervals[self.last_bucket] += 1;
     }
 
-    fn merge_into(self, latency: &mut KindLatency, tally: &mut Tally, intervals: &mut Vec<u64>) {
+    fn merge_into(
+        self,
+        latency: &mut KindLatency,
+        tally: &mut Tally,
+        intervals: &mut Vec<u64>,
+        interval_latency: &mut Vec<LatencyHistogram>,
+    ) {
         latency.merge(&self.latency);
         tally.merge(&self.tally);
         if intervals.len() < self.intervals.len() {
@@ -211,6 +227,15 @@ impl PhaseRecorder {
         }
         for (a, b) in intervals.iter_mut().zip(self.intervals.iter()) {
             *a += b;
+        }
+        if interval_latency.len() < self.interval_latency.len() {
+            interval_latency.resize_with(self.interval_latency.len(), LatencyHistogram::new);
+        }
+        for (a, b) in interval_latency
+            .iter_mut()
+            .zip(self.interval_latency.iter())
+        {
+            a.merge(b);
         }
     }
 }
@@ -463,8 +488,19 @@ impl Driver {
         let mut latency = KindLatency::new();
         let mut tally = Tally::default();
         let mut intervals = Vec::new();
+        let mut interval_latency = Vec::new();
         for rec in recorders {
-            rec.merge_into(&mut latency, &mut tally, &mut intervals);
+            rec.merge_into(
+                &mut latency,
+                &mut tally,
+                &mut intervals,
+                &mut interval_latency,
+            );
+        }
+        // Align the two series so consumers can zip them 1:1 (the latency
+        // side can come up short when the tail saw only untimed ops).
+        if interval_latency.len() < intervals.len() {
+            interval_latency.resize_with(intervals.len(), LatencyHistogram::new);
         }
         PhaseResult {
             phase: phase.name.clone(),
@@ -474,6 +510,7 @@ impl Driver {
             tally,
             latency,
             intervals,
+            interval_latency,
             interval_ns: self.interval.as_nanos().max(1) as u64,
         }
     }
@@ -562,6 +599,10 @@ pub struct PhaseResult {
     pub latency: KindLatency,
     /// Completions per interval (coarse throughput-over-time series).
     pub intervals: Vec<u64>,
+    /// Latency histogram per interval, aligned with
+    /// [`intervals`](PhaseResult::intervals); fed by *timed* completions
+    /// only, so under closed-loop pacing each holds the 1-in-stride sample.
+    pub interval_latency: Vec<LatencyHistogram>,
     /// Width of one interval, ns.
     pub interval_ns: u64,
 }
@@ -599,6 +640,16 @@ impl PhaseResult {
         LatencySummary::from_histogram(
             &self.latency.merged(&[RequestKind::Get, RequestKind::Range]),
         )
+    }
+
+    /// Per-interval latency percentile series (ns): one value per entry of
+    /// [`intervals`](PhaseResult::intervals), 0 for intervals with no timed
+    /// completion. `q` is a fraction (0.5 for p50, 0.99 for p99).
+    pub fn interval_percentiles(&self, q: f64) -> Vec<u64> {
+        self.interval_latency
+            .iter()
+            .map(|h| if h.count() == 0 { 0 } else { h.percentile(q) })
+            .collect()
     }
 
     /// Merged write-side (insert + update + remove) latency summary.
@@ -724,6 +775,45 @@ mod tests {
         assert_eq!(p.intervals.iter().sum::<u64>(), 5_000);
         assert_eq!(result.total_ops(), 5_000);
         assert!(result.phase("p0").is_some() && result.phase("nope").is_none());
+    }
+
+    #[test]
+    fn interval_latency_series_aligns_with_intervals() {
+        let scenario = Scenario::new("t", 9, &keys(2_000)).phase(Phase::new(
+            "paced",
+            Mix::read_only(),
+            KeyDist::Uniform,
+            Span::Ops(3_000),
+            Pacing::OpenLoop {
+                rate_ops_s: 30_000.0,
+            },
+        ));
+        let mut index = MutexIndex::new(MapIndex::default(), "map-mutex");
+        let result = Driver::new()
+            .interval(Duration::from_millis(20))
+            .open_loop_senders(2)
+            .run(&scenario, &mut index);
+        let p = &result.phases[0];
+        assert_eq!(p.interval_latency.len(), p.intervals.len());
+        // Open loop times every op, so the per-interval histogram counts
+        // must sum back to the completion series exactly.
+        let timed: u64 = p.interval_latency.iter().map(|h| h.count()).sum();
+        assert_eq!(timed, p.intervals.iter().sum::<u64>());
+        let p99 = p.interval_percentiles(0.99);
+        assert_eq!(p99.len(), p.intervals.len());
+        assert!(
+            p.intervals
+                .iter()
+                .zip(&p99)
+                .all(|(&n, &v)| (n == 0) == (v == 0)),
+            "a percentile sample exists exactly where completions exist"
+        );
+        // 3k ops at 30k ops/s spans ~100ms => ~5 intervals of 20ms.
+        assert!(
+            p.intervals.len() >= 3,
+            "got {} intervals",
+            p.intervals.len()
+        );
     }
 
     #[test]
