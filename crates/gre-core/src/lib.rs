@@ -21,6 +21,8 @@
 //!   scenario driver for coordinated-omission-safe tail reporting.
 //! * [`sync`] — the optimistic versioned lock (OLC word) used by the
 //!   concurrent index variants (ALEX+, LIPP+, ART-OLC, B+TreeOLC).
+//! * [`wire`] — the stable byte encoding of [`ops::Request`] used by the
+//!   `gre-durability` write-ahead log.
 //! * [`error`] — the shared error type.
 
 pub mod error;
@@ -30,6 +32,7 @@ pub mod latency;
 pub mod ops;
 pub mod stats;
 pub mod sync;
+pub mod wire;
 
 pub use error::{GreError, Result};
 pub use index::{ConcurrentIndex, Index, IndexMeta, RangeSpec};

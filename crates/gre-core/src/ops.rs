@@ -245,12 +245,18 @@ pub enum IndexError {
     /// The backend does not implement this operation (its [`IndexMeta`]
     /// capability flag is off). The payload names the operation.
     Unsupported(&'static str),
+    /// The serving layer is shutting down (or its durability tier has
+    /// fail-stopped): the operation was **not** executed and never will be.
+    /// This is a terminal per-op answer — submitters can distinguish a
+    /// drained-without-executing batch from a completed one.
+    Shutdown,
 }
 
 impl fmt::Display for IndexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IndexError::Unsupported(op) => write!(f, "operation not supported by backend: {op}"),
+            IndexError::Shutdown => write!(f, "serving layer shut down before execution"),
         }
     }
 }

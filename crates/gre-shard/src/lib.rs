@@ -44,9 +44,18 @@
 //! per-shard queue/in-flight gauges, sub-batch histograms, outcome counters
 //! mirroring the driver's tally, and 1-in-N sampled request spans. The
 //! uninstrumented path records nothing and reads no clocks.
+//!
+//! Durability attaches the same way: an optional per-shard write-ahead log
+//! ([`gre_durability::DurableLog`], via [`ShardPipeline::with_durability`]
+//! or `PipelineTarget::durable`) group-commits each sub-batch's writes
+//! before execution, with fail-stop refusal
+//! ([`gre_core::IndexError::Shutdown`]) when the log cannot accept a group.
+//! [`retry`] adds the client-side complement for the bounded queues:
+//! [`RetryPolicy`]-driven jittered backoff on [`Backpressure`].
 
 pub mod partition;
 pub mod pipeline;
+pub mod retry;
 pub mod serve;
 pub mod sharded;
 
@@ -55,5 +64,6 @@ pub use pipeline::{
     Backpressure, BackpressureReason, BatchResult, OpBatch, Session, ShardPipeline, SubmitHandle,
     DEFAULT_MAX_INFLIGHT, DEFAULT_QUEUE_CAPACITY,
 };
+pub use retry::RetryPolicy;
 pub use serve::{reconcile_tally, PipelineTarget, SessionTarget, DEFAULT_DRIVER_BATCH};
 pub use sharded::ShardedIndex;

@@ -33,15 +33,33 @@
 //! run through the full [`ShardedIndex`] so cross-shard stitching applies.
 //! Operations a backend cannot serve (deletes or scans with the capability
 //! flag off) answer [`Response::Error`] instead of silently no-opping.
+//!
+//! ## Durability
+//!
+//! A pipeline built with [`ShardPipeline::with_durability`] carries an
+//! optional per-shard write-ahead log ([`DurableLog`]): each sub-batch's
+//! writes are logged and synced as **one group-commit record** before any of
+//! them executes (log-then-execute), so durability rides the batching the
+//! pipeline already does and per-shard FIFO order makes the log a faithful
+//! replay script. The semantics are **fail-stop**: if the log cannot accept
+//! a group, the sub-batch does not execute and every op in it answers
+//! [`Response::Error`]\([`IndexError::Shutdown`]) — memory never runs ahead
+//! of the durable state. [`ShardPipeline::shutdown`] flips the same terminal
+//! answer for all subsequent submissions, letting clients distinguish
+//! "drained and executed" from "refused". Detached (the default), the WAL
+//! path costs nothing.
 
+use crate::retry::RetryPolicy;
 use crate::sharded::ShardedIndex;
-use gre_core::{ConcurrentIndex, IndexMeta, Response};
+use gre_core::{ConcurrentIndex, IndexError, IndexMeta, Response};
+use gre_durability::DurableLog;
 use gre_telemetry::{
     CounterId, CounterStripe, GaugeId, GlobalHistId, ShardHistId, SpanRecord, Telemetry,
 };
 use gre_workloads::{split_indexed_ops_by_shard, Op};
+use rand::RngCore;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -181,6 +199,22 @@ impl BatchShared {
             ready: Condvar::new(),
         }
     }
+
+    /// A batch already answered in full — every slot filled with a terminal
+    /// [`IndexError::Shutdown`], nothing pending. Used to refuse submissions
+    /// after [`ShardPipeline::shutdown`] without touching the queues.
+    fn refused(ops: usize) -> Self {
+        BatchShared {
+            state: Mutex::new(BatchState {
+                slots: (0..ops)
+                    .map(|_| Some(Response::Error(IndexError::Shutdown)))
+                    .collect(),
+                pending: 0,
+                taken: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
 }
 
 /// Handle to an in-flight batch: per-op [`Response`] slots filled by the
@@ -314,6 +348,10 @@ pub struct ShardPipeline<B: ConcurrentIndex<u64> + 'static> {
     gauge: Arc<QueueGauge>,
     queue_capacity: usize,
     telemetry: Option<Arc<Telemetry>>,
+    durability: Option<Arc<DurableLog>>,
+    /// Set by [`ShardPipeline::shutdown`]: submissions and queued work are
+    /// refused with [`IndexError::Shutdown`] instead of executing.
+    stopping: Arc<AtomicBool>,
 }
 
 impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
@@ -332,7 +370,7 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
         workers: usize,
         queue_capacity: usize,
     ) -> Self {
-        Self::build(index, workers, queue_capacity, None)
+        Self::build(index, workers, queue_capacity, None, None)
     }
 
     /// Like [`ShardPipeline::with_queue_capacity`], with every submission
@@ -347,12 +385,53 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
         queue_capacity: usize,
         telemetry: Arc<Telemetry>,
     ) -> Self {
-        assert_eq!(
-            telemetry.metrics().shard_count(),
-            index.num_shards(),
-            "telemetry shard count must match the served index"
-        );
-        Self::build(index, workers, queue_capacity, Some(telemetry))
+        Self::with_services(index, workers, queue_capacity, Some(telemetry), None)
+    }
+
+    /// Like [`ShardPipeline::with_queue_capacity`], with every sub-batch's
+    /// writes group-committed to `durability` before execution
+    /// (log-then-execute; see the module docs' durability section).
+    ///
+    /// # Panics
+    /// If `durability` was created for a different shard count than `index`.
+    pub fn with_durability(
+        index: Arc<ShardedIndex<u64, B>>,
+        workers: usize,
+        queue_capacity: usize,
+        durability: Arc<DurableLog>,
+    ) -> Self {
+        Self::with_services(index, workers, queue_capacity, None, Some(durability))
+    }
+
+    /// The fully general constructor: telemetry and durability each attach
+    /// independently (both optional; both `None` is
+    /// [`ShardPipeline::with_queue_capacity`]).
+    ///
+    /// # Panics
+    /// If `telemetry` or `durability` was sized for a different shard count
+    /// than `index`.
+    pub fn with_services(
+        index: Arc<ShardedIndex<u64, B>>,
+        workers: usize,
+        queue_capacity: usize,
+        telemetry: Option<Arc<Telemetry>>,
+        durability: Option<Arc<DurableLog>>,
+    ) -> Self {
+        if let Some(t) = telemetry.as_deref() {
+            assert_eq!(
+                t.metrics().shard_count(),
+                index.num_shards(),
+                "telemetry shard count must match the served index"
+            );
+        }
+        if let Some(d) = durability.as_deref() {
+            assert_eq!(
+                d.shards(),
+                index.num_shards(),
+                "durable log shard count must match the served index"
+            );
+        }
+        Self::build(index, workers, queue_capacity, telemetry, durability)
     }
 
     fn build(
@@ -360,6 +439,7 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
         workers: usize,
         queue_capacity: usize,
         telemetry: Option<Arc<Telemetry>>,
+        durability: Option<Arc<DurableLog>>,
     ) -> Self {
         let workers = workers.clamp(1, index.num_shards());
         let gauge = Arc::new(QueueGauge {
@@ -370,6 +450,7 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
             lock: Mutex::new(()),
             freed: Condvar::new(),
         });
+        let stopping = Arc::new(AtomicBool::new(false));
         let mut queues = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for worker_id in 0..workers {
@@ -377,6 +458,8 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
             let index = Arc::clone(&index);
             let gauge = Arc::clone(&gauge);
             let telemetry = telemetry.clone();
+            let durability = durability.clone();
+            let stopping = Arc::clone(&stopping);
             handles.push(std::thread::spawn(move || {
                 // Capability metadata is static per backend; resolve it once
                 // instead of per operation (composite meta takes locks).
@@ -398,8 +481,47 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
                             .record(job.ops.len() as u64);
                         now
                     });
-                    let (responses, batched_gets) =
-                        execute_sub_batch(&index, &backend_metas[job.shard], &index_meta, &job);
+                    // The durability gate, before anything touches memory:
+                    // group-commit this sub-batch's writes (one WAL record,
+                    // one sync barrier per the log's policy). A refused
+                    // group — log fail-stopped, sink error, or pipeline
+                    // shutting down — means the *whole* sub-batch answers
+                    // the terminal `Shutdown` error and executes nothing,
+                    // so the in-memory state never runs ahead of the log.
+                    let mut receipt = None;
+                    let refused = if stopping.load(Ordering::SeqCst) {
+                        true
+                    } else if let Some(log) = durability.as_deref() {
+                        let writes: Vec<Op> = job
+                            .ops
+                            .iter()
+                            .filter(|(_, op)| op.is_write())
+                            .map(|&(_, op)| op)
+                            .collect();
+                        if writes.is_empty() {
+                            false
+                        } else {
+                            match log.log_group(job.shard, &writes) {
+                                Ok(r) => {
+                                    receipt = Some(r);
+                                    false
+                                }
+                                Err(_) => true,
+                            }
+                        }
+                    } else {
+                        false
+                    };
+                    let (responses, batched_gets) = if refused {
+                        let refusals = job
+                            .ops
+                            .iter()
+                            .map(|&(slot, _)| (slot, Response::Error(IndexError::Shutdown)))
+                            .collect();
+                        (refusals, 0)
+                    } else {
+                        execute_sub_batch(&index, &backend_metas[job.shard], &index_meta, &job)
+                    };
                     debug_assert_eq!(
                         responses.len(),
                         job.ops.len(),
@@ -418,6 +540,10 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
                             .record(now.saturating_sub(execute_ns.unwrap_or(now)));
                         stripe.inc(CounterId::SubBatchesExecuted);
                         stripe.add(CounterId::BatchedGetOps, batched_gets as u64);
+                        if let Some(r) = &receipt {
+                            stripe.inc(CounterId::WalAppends);
+                            stripe.add(CounterId::WalFsyncs, r.fsyncs);
+                        }
                         count_outcomes(stripe, &responses);
                         scope.gauge_add(GaugeId::QueueDepth, -1);
                         scope.gauge_add(GaugeId::InFlightOps, -(job.ops.len() as i64));
@@ -474,6 +600,8 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
             gauge,
             queue_capacity: queue_capacity.max(1),
             telemetry,
+            durability,
+            stopping,
         }
     }
 
@@ -481,6 +609,29 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
     /// [`ShardPipeline::with_telemetry`].
     pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
         self.telemetry.as_ref()
+    }
+
+    /// The attached durable log, when this pipeline was built with
+    /// [`ShardPipeline::with_durability`].
+    pub fn durability(&self) -> Option<&Arc<DurableLog>> {
+        self.durability.as_ref()
+    }
+
+    /// Stop accepting and executing work. Every subsequent submission — and
+    /// every sub-batch still queued when its worker reaches it — answers all
+    /// its operations with [`Response::Error`]\([`IndexError::Shutdown`]),
+    /// so a submitter can tell *refused* from *completed* per operation.
+    /// Writes never half-apply: a refused sub-batch executes nothing.
+    ///
+    /// Idempotent; does not wait for in-flight work (drop the pipeline or
+    /// wait on outstanding handles for that).
+    pub fn shutdown(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`ShardPipeline::shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
     }
 
     /// The served index (for reads outside the batch path).
@@ -504,6 +655,17 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
     /// [`Backpressure`]. Sub-batches of the same shard (across submissions)
     /// execute in submission order on the shard's pinned worker.
     pub fn try_submit(&self, batch: OpBatch) -> Result<SubmitHandle, Backpressure> {
+        // A shut-down pipeline refuses instantly with a pre-completed
+        // handle: every slot already holds the terminal `Shutdown` error,
+        // the queues are never touched, and no telemetry is recorded (the
+        // ops neither enter nor leave the pipeline, so gauges stay exact).
+        if self.stopping.load(Ordering::SeqCst) {
+            let ops = batch.ops.len();
+            return Ok(SubmitHandle {
+                shared: Arc::new(BatchShared::refused(ops)),
+                ops,
+            });
+        }
         let shards = self.index.num_shards();
         let partitioner = self.index.partitioner();
         let ops = batch.ops.len();
@@ -641,6 +803,36 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
     pub fn execute(&self, batch: OpBatch) -> BatchResult {
         BatchResult::from_responses(&self.submit(batch).wait())
     }
+
+    /// [`ShardPipeline::try_submit`] with bounded, jittered retries on
+    /// [`BackpressureReason::QueueFull`] per `policy` (see
+    /// [`RetryPolicy`]): each rejection sleeps a full-jitter backoff drawn
+    /// from `rng`, then retries; after `policy.max_attempts` total attempts
+    /// the last [`Backpressure`] is returned with the batch intact.
+    ///
+    /// Unlike [`ShardPipeline::submit`] this never parks on the capacity
+    /// condvar — the jittered sleeps both bound the total wait and
+    /// decorrelate competing submitters during saturation.
+    pub fn submit_with_retry<R: RngCore>(
+        &self,
+        batch: OpBatch,
+        policy: &RetryPolicy,
+        rng: &mut R,
+    ) -> Result<SubmitHandle, Backpressure> {
+        let mut batch = batch;
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            match self.try_submit(batch) {
+                Ok(handle) => return Ok(handle),
+                Err(bp) if attempt + 1 < attempts => {
+                    batch = bp.batch;
+                    std::thread::sleep(policy.backoff(attempt, rng));
+                }
+                Err(bp) => return Err(bp),
+            }
+        }
+        unreachable!("loop always returns on the last attempt")
+    }
 }
 
 impl<B: ConcurrentIndex<u64> + 'static> Drop for ShardPipeline<B> {
@@ -650,6 +842,12 @@ impl<B: ConcurrentIndex<u64> + 'static> Drop for ShardPipeline<B> {
         self.queues.clear();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        // With the workers gone nothing else can append: flush any groups an
+        // `EveryN` sync policy left unsynced, so a clean drop leaves the log
+        // durable up to the last executed group.
+        if let Some(log) = &self.durability {
+            let _ = log.sync_all();
         }
     }
 }
@@ -821,6 +1019,43 @@ impl<'p, B: ConcurrentIndex<u64> + 'static> Session<'p, B> {
         self.inflight.push_back(self.pipeline.try_submit(batch)?);
         self.record_window();
         Ok(())
+    }
+
+    /// Submit with the session's own backpressure handling driven by
+    /// `policy`: a full in-flight window ([`BackpressureReason::WindowFull`])
+    /// waits out the session's *oldest* batch — progress, not contention, so
+    /// it costs no retry attempt — while a full shard queue
+    /// ([`BackpressureReason::QueueFull`]) sleeps a jittered backoff and
+    /// retries, up to `policy.max_attempts` total submission attempts. The
+    /// final rejection hands the batch back inside `Err(Backpressure)`.
+    pub fn submit_with_retry<R: RngCore>(
+        &mut self,
+        batch: OpBatch,
+        policy: &RetryPolicy,
+        rng: &mut R,
+    ) -> Result<(), Backpressure> {
+        let mut batch = batch;
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            match self.try_submit(batch) {
+                Ok(()) => return Ok(()),
+                Err(bp) if bp.reason == BackpressureReason::WindowFull => {
+                    batch = bp.batch;
+                    let handle = self
+                        .inflight
+                        .pop_front()
+                        .expect("window full implies inflight");
+                    self.completed.push_back(handle.wait());
+                }
+                Err(bp) if attempt + 1 < attempts => {
+                    batch = bp.batch;
+                    std::thread::sleep(policy.backoff(attempt, rng));
+                    attempt += 1;
+                }
+                Err(bp) => return Err(bp),
+            }
+        }
     }
 
     /// Sample the in-flight window occupancy (including the batch just
@@ -1230,6 +1465,190 @@ mod tests {
             assert!(session.inflight.len() <= 2, "window respected");
         }
         assert_eq!(session.drain().len(), 6);
+    }
+
+    #[test]
+    fn shutdown_answers_everything_with_terminal_errors() {
+        let p = pipeline(4, 2);
+        assert!(!p.is_shutting_down());
+        p.shutdown();
+        assert!(p.is_shutting_down());
+        let responses = p
+            .submit(OpBatch::new(vec![
+                Op::Get(0),
+                Op::Insert(1, 1),
+                Op::Remove(0),
+            ]))
+            .wait();
+        assert_eq!(
+            responses,
+            vec![Response::Error(IndexError::Shutdown); 3],
+            "a shut-down pipeline answers every op with the terminal error"
+        );
+        // The refused write and delete never touched the store.
+        assert_eq!(p.index().get(1), None);
+        assert_eq!(p.index().get(0), Some(0));
+        // try_submit agrees: refused, not backpressured.
+        let handle = p.try_submit(OpBatch::new(vec![Op::Get(2)])).unwrap();
+        assert_eq!(handle.wait(), vec![Response::Error(IndexError::Shutdown)]);
+    }
+
+    #[test]
+    fn durable_pipeline_group_commits_writes_before_execution() {
+        use gre_durability::util::TempDir;
+        use gre_durability::{DurableLog, Recovery, SyncPolicy};
+
+        let tmp = TempDir::new("pipeline-wal");
+        let shards = 4usize;
+        let mut idx = ShardedIndex::from_factory(Partitioner::range(shards), |_| {
+            MutexIndex::new(MapIndex::default(), "map-shard")
+        });
+        let entries: Vec<(u64, Payload)> = (0..1_000u64).map(|i| (i * 2, i)).collect();
+        idx.bulk_load(&entries);
+        let log = DurableLog::create(tmp.path(), shards, SyncPolicy::EveryGroup).unwrap();
+        // The bulk load bypasses the pipeline: checkpoint it so recovery
+        // starts from the loaded state.
+        let partitioner = Partitioner::range(shards);
+        for shard in 0..shards {
+            let mine: Vec<(u64, Payload)> = entries
+                .iter()
+                .copied()
+                .filter(|&(k, _)| partitioner.shard_of(k) == shard)
+                .collect();
+            log.checkpoint(shard, &mine).unwrap();
+        }
+        let p = ShardPipeline::with_durability(Arc::new(idx), 2, DEFAULT_QUEUE_CAPACITY, log);
+        assert!(p.durability().is_some());
+        // Mixed batches: reads must not be logged, writes must all be.
+        for b in 0..20u64 {
+            let responses = p
+                .submit(OpBatch::new(vec![
+                    Op::Get(2 * b),
+                    Op::Insert(100_001 + 2 * b, b),
+                    Op::Update(2 * b, b + 1),
+                    Op::Remove(2 * b + 200),
+                ]))
+                .wait();
+            assert!(responses.iter().all(|r| !r.is_error()));
+        }
+        let live = Arc::clone(p.index());
+        let stats = p.durability().unwrap().stats();
+        assert!(stats.appends > 0 && stats.fsyncs > 0);
+        drop(p);
+
+        // Crash-equivalent check: rebuild purely from disk and compare.
+        let rec = Recovery::recover(tmp.path()).unwrap();
+        assert!(rec.is_clean());
+        let mut replayed = MutexIndex::new(MapIndex::default(), "replayed");
+        rec.replay_into(&mut replayed);
+        assert_eq!(replayed.len(), live.len());
+        for k in (0..1_000u64)
+            .map(|i| i * 2)
+            .chain((0..20).map(|b| 100_001 + 2 * b))
+        {
+            assert_eq!(replayed.get(k), live.get(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn wal_counters_reconcile_with_log_stats_when_both_services_attach() {
+        use gre_durability::util::TempDir;
+        use gre_durability::{DurableLog, SyncPolicy};
+        use gre_telemetry::CounterId;
+
+        let tmp = TempDir::new("pipeline-wal-telemetry");
+        let shards = 2usize;
+        let mut idx = ShardedIndex::from_factory(Partitioner::range(shards), |_| {
+            MutexIndex::new(MapIndex::default(), "map-shard")
+        });
+        idx.bulk_load(&[(0, 0), (u64::MAX / 2 + 1, 1)]);
+        let log = DurableLog::create(tmp.path(), shards, SyncPolicy::EveryGroup).unwrap();
+        let telemetry = Telemetry::shared(shards, 2);
+        let p = ShardPipeline::with_services(
+            Arc::new(idx),
+            2,
+            DEFAULT_QUEUE_CAPACITY,
+            Some(Arc::clone(&telemetry)),
+            Some(log),
+        );
+        for b in 0..16u64 {
+            // One read-only batch per write batch: reads are neither logged
+            // nor counted as WAL activity.
+            p.submit(OpBatch::new(vec![Op::Get(0), Op::Get(u64::MAX / 2 + 1)]))
+                .wait();
+            p.submit(OpBatch::new(vec![
+                Op::Insert(10 + b, b),
+                Op::Insert(u64::MAX / 2 + 10 + b, b),
+            ]))
+            .wait();
+        }
+        let stats = p.durability().unwrap().stats();
+        drop(p);
+
+        let snap = telemetry.snapshot();
+        assert!(stats.appends > 0 && stats.fsyncs > 0);
+        assert_eq!(snap.counter(CounterId::WalAppends), stats.appends);
+        assert_eq!(snap.counter(CounterId::WalFsyncs), stats.fsyncs);
+    }
+
+    #[test]
+    fn submit_with_retry_delivers_or_returns_the_batch() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut idx = ShardedIndex::from_factory(Partitioner::range(1), |_| {
+            MutexIndex::new(MapIndex::default(), "map-shard")
+        });
+        idx.bulk_load(&[(0, 0)]);
+        let p = ShardPipeline::with_queue_capacity(Arc::new(idx), 1, 2);
+        let policy = RetryPolicy::new(3, Duration::from_micros(10), Duration::from_micros(100));
+        let mut rng = StdRng::seed_from_u64(42);
+
+        let mut accepted = Vec::new();
+        let mut rejected = 0usize;
+        for i in 0..500u64 {
+            match p.submit_with_retry(OpBatch::new(vec![Op::Insert(10 + i, i)]), &policy, &mut rng)
+            {
+                Ok(handle) => accepted.push(handle),
+                Err(bp) => {
+                    // The final rejection hands the batch back intact.
+                    assert_eq!(bp.batch.ops, vec![Op::Insert(10 + i, i)]);
+                    rejected += 1;
+                }
+            }
+        }
+        let n = accepted.len();
+        for handle in accepted {
+            assert_eq!(handle.wait(), vec![Response::Insert(true)]);
+        }
+        assert_eq!(p.index().len(), 1 + n);
+        assert_eq!(n + rejected, 500);
+    }
+
+    #[test]
+    fn session_submit_with_retry_preserves_fifo() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let p = pipeline(4, 2);
+        let mut session = Session::with_max_inflight(&p, 2);
+        let policy = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        for b in 0..10u64 {
+            session
+                .submit_with_retry(
+                    OpBatch::new(vec![Op::Insert(300_001 + 2 * b, b)]),
+                    &policy,
+                    &mut rng,
+                )
+                .expect("default policy over an uncontended pipeline");
+            assert!(session.inflight.len() <= 2, "window still respected");
+        }
+        let all = session.drain();
+        assert_eq!(all.len(), 10);
+        for (b, responses) in all.iter().enumerate() {
+            assert_eq!(responses, &vec![Response::Insert(true)], "batch {b}");
+        }
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Backpressure retry policies: bounded attempts with jittered exponential
+//! backoff.
+//!
+//! The pipeline's bounded shard queues reject overload with
+//! [`Backpressure`](crate::pipeline::Backpressure) instead of queueing
+//! without limit; what a client does next is policy. Immediate blind retry
+//! turns every saturation event into a thundering herd — all rejected
+//! submitters hammer the same full queue in lock-step. A [`RetryPolicy`]
+//! spaces the attempts out with **full-jitter exponential backoff**: attempt
+//! `n` sleeps a uniformly random duration in `[0, min(cap, base · 2ⁿ)]`, so
+//! retries decorrelate across submitters and the queue gets room to drain.
+//!
+//! Honored by [`ShardPipeline::submit_with_retry`](crate::ShardPipeline::submit_with_retry),
+//! [`Session::submit_with_retry`](crate::Session::submit_with_retry), and the
+//! serve-layer targets via `PipelineTarget::with_retry`.
+
+use rand::{Rng, RngCore};
+use std::time::Duration;
+
+/// Bounded-retry policy for rejected submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts, including the first (clamped to ≥ 1).
+    pub max_attempts: u32,
+    /// Backoff scale: the jitter ceiling of the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Tuned for an in-process pipeline whose queues drain in microseconds:
+    /// 8 attempts, 50 µs base, 5 ms cap (≈ 10 ms worst-case total sleep).
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_micros(50),
+            cap: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    pub fn new(max_attempts: u32, base: Duration, cap: Duration) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base,
+            cap,
+        }
+    }
+
+    /// Retries after the first attempt (0 for a no-retry policy).
+    pub fn retries(&self) -> u32 {
+        self.max_attempts.saturating_sub(1)
+    }
+
+    /// The backoff to sleep after failed attempt `attempt` (0-based):
+    /// uniform in `[0, min(cap, base · 2^attempt)]` — "full jitter".
+    pub fn backoff<R: RngCore>(&self, attempt: u32, rng: &mut R) -> Duration {
+        // 2^attempt saturates well before the shift could overflow.
+        let exp = self.base.saturating_mul(1u32 << attempt.min(20));
+        let ceiling_ns = exp.min(self.cap).as_nanos() as u64;
+        if ceiling_ns == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(rng.gen_range(0..=ceiling_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backoff_is_jittered_and_capped() {
+        let policy = RetryPolicy::new(10, Duration::from_micros(100), Duration::from_millis(1));
+        let mut rng = StdRng::seed_from_u64(7);
+        for attempt in 0..32u32 {
+            let ceiling = policy
+                .base
+                .saturating_mul(1 << attempt.min(20))
+                .min(policy.cap);
+            let mut seen_distinct = std::collections::HashSet::new();
+            for _ in 0..64 {
+                let d = policy.backoff(attempt, &mut rng);
+                assert!(d <= ceiling, "attempt {attempt}: {d:?} > {ceiling:?}");
+                seen_distinct.insert(d);
+            }
+            assert!(
+                seen_distinct.len() > 1,
+                "attempt {attempt}: backoff must be jittered, not constant"
+            );
+        }
+    }
+
+    #[test]
+    fn ceilings_grow_exponentially_until_the_cap() {
+        let policy = RetryPolicy::new(8, Duration::from_micros(50), Duration::from_millis(5));
+        let mut rng = StdRng::seed_from_u64(3);
+        // Statistically: the max over many samples approaches the ceiling,
+        // so ceilings must order as 50µs < 100µs < ... < 5ms.
+        let max_of = |attempt: u32, rng: &mut StdRng| {
+            (0..256)
+                .map(|_| policy.backoff(attempt, rng))
+                .max()
+                .unwrap()
+        };
+        let early = max_of(0, &mut rng);
+        let late = max_of(6, &mut rng);
+        assert!(early <= Duration::from_micros(50));
+        assert!(late > Duration::from_micros(500), "got {late:?}");
+        assert!(late <= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn attempts_clamp_to_one() {
+        let p = RetryPolicy::new(0, Duration::ZERO, Duration::ZERO);
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.retries(), 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(p.backoff(5, &mut rng), Duration::ZERO);
+    }
+}

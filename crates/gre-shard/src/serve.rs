@@ -79,13 +79,19 @@
 //! ```
 
 use crate::pipeline::{OpBatch, Session, ShardPipeline, DEFAULT_QUEUE_CAPACITY};
+use crate::retry::RetryPolicy;
 use crate::sharded::ShardedIndex;
 use gre_core::ops::RequestKind;
 use gre_core::{ConcurrentIndex, Payload};
-use gre_telemetry::{Telemetry, TelemetryConfig};
+use gre_durability::{DurableLog, Recovery, SyncPolicy};
+use gre_telemetry::{CounterId, Telemetry, TelemetryConfig};
 use gre_workloads::driver::{Connection, PhaseRecorder, ServeTarget};
 use gre_workloads::Op;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -151,6 +157,23 @@ pub fn reconcile_tally(
     Ok(())
 }
 
+/// Durability settings for a serve target: where the per-shard WAL lives,
+/// how often it syncs, and (after load) the live log.
+struct DurabilityConfig {
+    dir: PathBuf,
+    policy: SyncPolicy,
+    log: Option<Arc<DurableLog>>,
+}
+
+/// Seeds for the per-connection retry RNGs: deterministic per process, so
+/// repeated runs back off identically while distinct connections still
+/// jitter independently.
+static CONN_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+fn conn_rng() -> StdRng {
+    StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ CONN_SERIAL.fetch_add(1, Ordering::Relaxed))
+}
+
 /// The shared core of both adapters: the sharded composite plus the worker
 /// pool serving it (created at [`ServeTarget::load`] time, after the bulk
 /// load, because loading needs exclusive access to the composite).
@@ -160,6 +183,8 @@ struct PipelineCore<B: ConcurrentIndex<u64> + 'static> {
     workers: usize,
     batch: usize,
     telemetry: Option<Arc<Telemetry>>,
+    durability: Option<DurabilityConfig>,
+    retry: Option<RetryPolicy>,
 }
 
 impl<B: ConcurrentIndex<u64> + 'static> PipelineCore<B> {
@@ -170,6 +195,8 @@ impl<B: ConcurrentIndex<u64> + 'static> PipelineCore<B> {
             workers,
             batch: batch.max(1),
             telemetry: None,
+            durability: None,
+            retry: None,
         }
     }
 
@@ -186,18 +213,56 @@ impl<B: ConcurrentIndex<u64> + 'static> PipelineCore<B> {
     }
 
     fn load(&mut self, entries: &[(u64, Payload)]) {
-        Arc::get_mut(&mut self.index)
-            .expect("load() must run before the worker pool is spawned")
-            .bulk_load(entries);
-        self.pipeline = Some(match &self.telemetry {
-            Some(t) => ShardPipeline::with_telemetry(
-                Arc::clone(&self.index),
-                self.workers,
-                DEFAULT_QUEUE_CAPACITY,
-                Arc::clone(t),
-            ),
-            None => ShardPipeline::new(Arc::clone(&self.index), self.workers),
-        });
+        let index = Arc::get_mut(&mut self.index)
+            .expect("load() must run before the worker pool is spawned");
+        // Durable targets either restore a previous incarnation's on-disk
+        // state (a restart: the durable history supersedes the bulk
+        // entries) or open a fresh log and checkpoint the bulk load into
+        // per-shard snapshots — the loaded keys never pass through the
+        // pipeline, so without the checkpoint a recovery would replay an
+        // empty store.
+        let durability = if let Some(cfg) = self.durability.as_mut() {
+            let log = match Recovery::recover(&cfg.dir) {
+                Ok(rec) => {
+                    let replayed = rec.replay_into(index);
+                    if let Some(t) = &self.telemetry {
+                        t.metrics()
+                            .stripe(0)
+                            .add(CounterId::RecoveryReplayedOps, replayed);
+                    }
+                    rec.resume(cfg.policy)
+                        .expect("durable target: cannot resume the write-ahead log")
+                }
+                Err(_) => {
+                    index.bulk_load(entries);
+                    let log = DurableLog::create(&cfg.dir, index.num_shards(), cfg.policy)
+                        .expect("durable target: cannot create the write-ahead log");
+                    let partitioner = index.partitioner();
+                    let mut per_shard: Vec<Vec<(u64, Payload)>> =
+                        vec![Vec::new(); index.num_shards()];
+                    for &(k, v) in entries {
+                        per_shard[partitioner.shard_of(k)].push((k, v));
+                    }
+                    for (shard, entries) in per_shard.iter().enumerate() {
+                        log.checkpoint(shard, entries)
+                            .expect("durable target: cannot checkpoint the bulk load");
+                    }
+                    log
+                }
+            };
+            cfg.log = Some(Arc::clone(&log));
+            Some(log)
+        } else {
+            index.bulk_load(entries);
+            None
+        };
+        self.pipeline = Some(ShardPipeline::with_services(
+            Arc::clone(&self.index),
+            self.workers,
+            DEFAULT_QUEUE_CAPACITY,
+            self.telemetry.clone(),
+            durability,
+        ));
     }
 
     fn pipeline(&self) -> &ShardPipeline<B> {
@@ -248,14 +313,50 @@ impl<B: ConcurrentIndex<u64> + 'static> PipelineTarget<B> {
     pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
         self.core.telemetry.as_ref()
     }
+
+    /// Make this target durable: at load time, open a per-shard write-ahead
+    /// log under `dir` (checkpointing the bulk load into snapshots) and
+    /// attach it to the pipeline, so every served write is group-committed
+    /// before it executes. If `dir` already holds a durable history from a
+    /// previous incarnation, load restores it instead of the bulk entries
+    /// (a restart) and resumes the log where it left off, recording the
+    /// replayed op count as `recovery_replayed_ops` when instrumented. See
+    /// `gre-durability` and `docs/DURABILITY.md`.
+    pub fn durable(mut self, dir: impl AsRef<Path>, policy: SyncPolicy) -> Self {
+        self.core.durability = Some(DurabilityConfig {
+            dir: dir.as_ref().to_path_buf(),
+            policy,
+            log: None,
+        });
+        self
+    }
+
+    /// Retry rejected submissions per `policy` (jittered backoff on a full
+    /// shard queue) instead of parking on the pipeline's capacity condvar.
+    /// Exhausted retries fall back to the blocking submit, so the driver
+    /// still loses no operations.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.core.retry = Some(policy);
+        self
+    }
+
+    /// The live durable log, when [`PipelineTarget::durable`] and loaded.
+    pub fn durability(&self) -> Option<&Arc<DurableLog>> {
+        self.core.durability.as_ref()?.log.as_ref()
+    }
 }
 
 impl<B: ConcurrentIndex<u64> + 'static> ServeTarget for PipelineTarget<B> {
     fn describe(&self) -> String {
         format!(
-            "{} [pipeline batch={}]",
+            "{} [pipeline batch={}{}]",
             self.core.index.meta().name,
-            self.core.batch
+            self.core.batch,
+            if self.core.durability.is_some() {
+                " wal"
+            } else {
+                ""
+            }
         )
     }
 
@@ -269,6 +370,8 @@ impl<B: ConcurrentIndex<u64> + 'static> ServeTarget for PipelineTarget<B> {
             batch: self.core.batch,
             buf: Vec::with_capacity(self.core.batch),
             meta: Vec::with_capacity(self.core.batch),
+            retry: self.core.retry,
+            rng: conn_rng(),
         })
     }
 
@@ -286,6 +389,8 @@ struct PipelineConn<'a, B: ConcurrentIndex<u64> + 'static> {
     batch: usize,
     buf: Vec<Op>,
     meta: BatchMeta,
+    retry: Option<RetryPolicy>,
+    rng: StdRng,
 }
 
 impl<B: ConcurrentIndex<u64> + 'static> PipelineConn<'_, B> {
@@ -294,7 +399,21 @@ impl<B: ConcurrentIndex<u64> + 'static> PipelineConn<'_, B> {
             return;
         }
         let ops = std::mem::take(&mut self.buf);
-        let responses = self.pipeline.submit(OpBatch::new(ops)).wait();
+        let batch = OpBatch::new(ops);
+        let handle = match self.retry {
+            // Jittered retries first; a batch that exhausts its attempts
+            // falls back to the blocking submit — the driver's accounting
+            // requires that no accepted op vanish.
+            Some(policy) => match self
+                .pipeline
+                .submit_with_retry(batch, &policy, &mut self.rng)
+            {
+                Ok(handle) => handle,
+                Err(bp) => self.pipeline.submit(bp.batch),
+            },
+            None => self.pipeline.submit(batch),
+        };
+        let responses = handle.wait();
         record_batch(rec, &self.meta, &responses);
         self.meta.clear();
     }
@@ -362,15 +481,42 @@ impl<B: ConcurrentIndex<u64> + 'static> SessionTarget<B> {
     pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
         self.core.telemetry.as_ref()
     }
+
+    /// Make this target durable; see [`PipelineTarget::durable`].
+    pub fn durable(mut self, dir: impl AsRef<Path>, policy: SyncPolicy) -> Self {
+        self.core.durability = Some(DurabilityConfig {
+            dir: dir.as_ref().to_path_buf(),
+            policy,
+            log: None,
+        });
+        self
+    }
+
+    /// Retry rejected submissions per `policy`; see
+    /// [`PipelineTarget::with_retry`].
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.core.retry = Some(policy);
+        self
+    }
+
+    /// The live durable log, when [`SessionTarget::durable`] and loaded.
+    pub fn durability(&self) -> Option<&Arc<DurableLog>> {
+        self.core.durability.as_ref()?.log.as_ref()
+    }
 }
 
 impl<B: ConcurrentIndex<u64> + 'static> ServeTarget for SessionTarget<B> {
     fn describe(&self) -> String {
         format!(
-            "{} [session batch={} inflight={}]",
+            "{} [session batch={} inflight={}{}]",
             self.core.index.meta().name,
             self.core.batch,
-            self.max_inflight
+            self.max_inflight,
+            if self.core.durability.is_some() {
+                " wal"
+            } else {
+                ""
+            }
         )
     }
 
@@ -385,6 +531,8 @@ impl<B: ConcurrentIndex<u64> + 'static> ServeTarget for SessionTarget<B> {
             buf: Vec::with_capacity(self.core.batch),
             pending: VecDeque::new(),
             buf_meta: Vec::with_capacity(self.core.batch),
+            retry: self.core.retry,
+            rng: conn_rng(),
         })
     }
 
@@ -405,6 +553,8 @@ struct SessionConn<'a, B: ConcurrentIndex<u64> + 'static> {
     /// Metadata of submitted-but-unharvested batches, in submission order
     /// (the session returns completions in the same FIFO order).
     pending: VecDeque<BatchMeta>,
+    retry: Option<RetryPolicy>,
+    rng: StdRng,
 }
 
 impl<B: ConcurrentIndex<u64> + 'static> SessionConn<'_, B> {
@@ -414,9 +564,24 @@ impl<B: ConcurrentIndex<u64> + 'static> SessionConn<'_, B> {
         }
         let ops = std::mem::take(&mut self.buf);
         self.pending.push_back(std::mem::take(&mut self.buf_meta));
-        // Blocking only when the in-flight window is full — the session
-        // then waits out its *oldest* batch, preserving FIFO harvests.
-        self.session.submit(OpBatch::new(ops));
+        let batch = OpBatch::new(ops);
+        match self.retry {
+            Some(policy) => {
+                // Jittered retries on queue saturation (a full window still
+                // waits out the oldest batch — that's progress, not
+                // contention); exhaustion falls back to the blocking submit
+                // so no accepted op is lost.
+                if let Err(bp) = self
+                    .session
+                    .submit_with_retry(batch, &policy, &mut self.rng)
+                {
+                    self.session.submit(bp.batch);
+                }
+            }
+            // Blocking only when the in-flight window is full — the session
+            // then waits out its *oldest* batch, preserving FIFO harvests.
+            None => self.session.submit(batch),
+        }
     }
 
     fn harvest_ready(&mut self, rec: &mut PhaseRecorder) {
@@ -594,6 +759,37 @@ mod tests {
         // The 1-in-64 sampler left spans in the ring.
         assert!(t.trace().expect("tracing on").recorded() > 0);
         assert!(snap.counter(CounterId::TraceSpans) > 0);
+    }
+
+    #[test]
+    fn durable_target_restores_a_previous_incarnation_on_load() {
+        use gre_durability::util::TempDir;
+        use gre_telemetry::CounterId;
+
+        let tmp = TempDir::new("serve-restart");
+        let mut target =
+            PipelineTarget::new(sharded(2), 2, 64).durable(tmp.path(), SyncPolicy::EveryGroup);
+        let result = Driver::new().run(&scenario(2_000, 2), &mut target);
+        assert_eq!(result.phases[0].tally.errors, 0);
+        let mut before = Vec::new();
+        target
+            .index()
+            .range(RangeSpec::new(0, usize::MAX), &mut before);
+        drop(target); // the pipeline joins and syncs the log
+
+        // A fresh target on the same directory restarts from the durable
+        // history: the recovered state supersedes the bulk entries.
+        let mut target = PipelineTarget::new(sharded(2), 2, 64)
+            .durable(tmp.path(), SyncPolicy::EveryGroup)
+            .instrumented_with(|c| c.without_trace());
+        target.load(&[(1, 1)]); // ignored: the durable history wins
+        let mut after = Vec::new();
+        target
+            .index()
+            .range(RangeSpec::new(0, usize::MAX), &mut after);
+        assert_eq!(after, before, "restart must restore the served state");
+        let snap = target.telemetry().expect("instrumented").snapshot();
+        assert!(snap.counter(CounterId::RecoveryReplayedOps) > 0);
     }
 
     #[test]

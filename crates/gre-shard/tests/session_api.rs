@@ -4,7 +4,7 @@
 //! over real backends (a learned and a traditional one), seeded so failures
 //! reproduce deterministically.
 
-use gre_core::{ConcurrentIndex, Payload, RangeSpec, Response};
+use gre_core::{ConcurrentIndex, IndexError, Payload, RangeSpec, Response};
 use gre_learned::AlexPlus;
 use gre_shard::{OpBatch, Partitioner, Session, SessionTarget, ShardPipeline, ShardedIndex};
 use gre_traditional::btree_olc;
@@ -261,6 +261,54 @@ fn open_loop_shutdown_mid_phase_loses_no_accepted_ops() {
             "{name}: store growth must match the reported new keys exactly"
         );
         assert_eq!(p.tally.errors, 0, "{name}");
+    }
+}
+
+/// Shutdown is terminal and exact: every submitted op answers either its
+/// real typed response (it executed before the shutdown) or
+/// `Response::Error(IndexError::Shutdown)` (it was refused) — never
+/// silence, never a half-applied write. A submitter can therefore
+/// distinguish "drained and completed" from "refused" per operation, and
+/// the store grows by exactly the executed inserts.
+#[test]
+fn shutdown_answers_are_terminal_and_exactly_accounted() {
+    for (name, factory) in backends() {
+        let mut idx = build(Partitioner::range(4), factory);
+        let bulk: Vec<(u64, Payload)> = (0..2_000u64).map(|i| (i * 2, i)).collect();
+        idx.bulk_load(&bulk);
+        let bulk_len = idx.len();
+        let pipeline = ShardPipeline::new(Arc::new(idx), 2);
+
+        let mut handles = Vec::new();
+        for i in 0..200u64 {
+            if i == 100 {
+                pipeline.shutdown();
+            }
+            handles.push(pipeline.submit(OpBatch::new(vec![Op::Insert(1_000_000 + i, i)])));
+        }
+        let mut executed = Vec::new();
+        let mut refused = 0u64;
+        for (i, handle) in handles.into_iter().enumerate() {
+            match handle.wait().as_slice() {
+                [Response::Insert(true)] => executed.push(1_000_000 + i as u64),
+                [Response::Error(IndexError::Shutdown)] => refused += 1,
+                other => panic!("{name}: unexpected batch outcome {other:?}"),
+            }
+        }
+        assert_eq!(executed.len() as u64 + refused, 200, "{name}");
+        assert!(
+            refused >= 100,
+            "{name}: every submission after shutdown() must be refused \
+             (and queued-but-unexecuted ones may be too)"
+        );
+        assert_eq!(
+            pipeline.index().len(),
+            bulk_len + executed.len(),
+            "{name}: the store grows by exactly the executed inserts"
+        );
+        for &key in &executed {
+            assert!(pipeline.index().get(key).is_some(), "{name} key {key}");
+        }
     }
 }
 

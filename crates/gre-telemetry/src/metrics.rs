@@ -54,11 +54,17 @@ pub enum CounterId {
     TraceSpans,
     /// Spans dropped because a ring slot was mid-write (writer collision).
     TraceDropped,
+    /// Write-ahead-log records appended (one per durably logged group).
+    WalAppends,
+    /// Write-ahead-log fsync (durability) barriers issued.
+    WalFsyncs,
+    /// Operations replayed from the WAL during crash recovery.
+    RecoveryReplayedOps,
 }
 
 impl CounterId {
     /// All counter ids, in export order.
-    pub const ALL: [CounterId; 15] = [
+    pub const ALL: [CounterId; 18] = [
         CounterId::OpsSubmitted,
         CounterId::OpsCompleted,
         CounterId::BatchesSubmitted,
@@ -74,6 +80,9 @@ impl CounterId {
         CounterId::OpErrors,
         CounterId::TraceSpans,
         CounterId::TraceDropped,
+        CounterId::WalAppends,
+        CounterId::WalFsyncs,
+        CounterId::RecoveryReplayedOps,
     ];
 
     /// Number of counter ids.
@@ -103,6 +112,9 @@ impl CounterId {
             CounterId::OpErrors => "op_errors",
             CounterId::TraceSpans => "trace_spans",
             CounterId::TraceDropped => "trace_dropped",
+            CounterId::WalAppends => "wal_appends",
+            CounterId::WalFsyncs => "wal_fsyncs",
+            CounterId::RecoveryReplayedOps => "recovery_replayed_ops",
         }
     }
 
@@ -124,6 +136,9 @@ impl CounterId {
             CounterId::OpErrors => "Operations answered with a typed error",
             CounterId::TraceSpans => "Spans recorded into the trace ring",
             CounterId::TraceDropped => "Spans dropped on trace-slot collision",
+            CounterId::WalAppends => "WAL records appended (one per logged group)",
+            CounterId::WalFsyncs => "WAL fsync durability barriers issued",
+            CounterId::RecoveryReplayedOps => "Operations replayed from the WAL during recovery",
         }
     }
 }
