@@ -1,0 +1,169 @@
+//! Shared vocabulary for **online elasticity**: the typed error surface and
+//! the boundary-change events emitted when a serving layer splits, merges,
+//! or migrates key-range shards under live traffic.
+//!
+//! The mechanism lives in `gre-shard` (routing freeze / drain / handoff) and
+//! the policy in `gre-elastic` (imbalance detection, split/merge planning);
+//! this module holds only the types both sides — and observers such as the
+//! durability layer — need to agree on.
+
+use std::fmt;
+
+/// Errors surfaced by the elasticity protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElasticError {
+    /// A migration is already in flight; only one range may be frozen at a
+    /// time (the protocol serializes topology changes).
+    AlreadyMigrating,
+    /// The partitioning scheme cannot change topology (hash partitioning
+    /// has no boundary table to move — it is the skew-resistant baseline).
+    UnsupportedScheme(&'static str),
+    /// The backend lacks a capability the drain-and-handoff protocol needs
+    /// (range scans to extract, deletes to vacate the source shard).
+    UnsupportedBackend(&'static str),
+    /// The requested key range or segment does not describe a legal
+    /// topology change (empty window, boundary outside the segment,
+    /// source and target shard identical, out-of-range ids, …).
+    InvalidRange(String),
+    /// The write-ahead log refused the topology handoff record; the
+    /// migration was rolled back to the pre-handoff state.
+    Wal(String),
+    /// The migration was abandoned before the routing swap; the source
+    /// shard still owns the range.
+    Aborted(&'static str),
+}
+
+impl fmt::Display for ElasticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElasticError::AlreadyMigrating => {
+                write!(f, "a range migration is already in flight")
+            }
+            ElasticError::UnsupportedScheme(s) => {
+                write!(f, "partitioning scheme does not support elasticity: {s}")
+            }
+            ElasticError::UnsupportedBackend(what) => {
+                write!(f, "backend capability missing for migration: {what}")
+            }
+            ElasticError::InvalidRange(msg) => write!(f, "invalid topology change: {msg}"),
+            ElasticError::Wal(msg) => write!(f, "topology WAL handoff failed: {msg}"),
+            ElasticError::Aborted(why) => write!(f, "migration aborted: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ElasticError {}
+
+/// What kind of topology change a [`BoundaryChange`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// A hot segment was cut in two and one half moved to another shard.
+    Split,
+    /// A cold segment was folded into a neighbour's shard and the shared
+    /// boundary removed.
+    Merge,
+    /// A segment changed owner without boundary edits.
+    Migrate,
+}
+
+impl TopologyKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Split => "split",
+            TopologyKind::Merge => "merge",
+            TopologyKind::Migrate => "migrate",
+        }
+    }
+}
+
+/// One committed topology change: the event record the controller emits
+/// after the routing table swap, consumed by logs/diagnostics and mirrored
+/// into the WAL as a topology record by the durability layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundaryChange {
+    /// Protocol-unique id of the handoff (also the WAL correlation id).
+    pub id: u64,
+    pub kind: TopologyKind,
+    /// Inclusive low key of the moved range (`None` = domain minimum).
+    pub lo: Option<u64>,
+    /// Exclusive high key of the moved range (`None` = domain maximum).
+    pub hi: Option<u64>,
+    /// Shard that owned the range before the change.
+    pub from: usize,
+    /// Shard that owns the range after the change.
+    pub to: usize,
+    /// Number of live entries moved during the handoff.
+    pub keys_moved: usize,
+    /// Routing epoch after the swap committed.
+    pub epoch: u64,
+    /// Wall-clock length of the frozen window, in microseconds: the pause
+    /// experienced by traffic targeting the moved range (other ranges are
+    /// never paused).
+    pub pause_micros: u64,
+}
+
+impl fmt::Display for BoundaryChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} #{}: [{}, {}) shard {} -> {} ({} keys, {} us pause, epoch {})",
+            self.kind.name(),
+            self.id,
+            self.lo.map_or("-inf".to_string(), |k| k.to_string()),
+            self.hi.map_or("+inf".to_string(), |k| k.to_string()),
+            self.from,
+            self.to,
+            self.keys_moved,
+            self.pause_micros,
+            self.epoch,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_informative_text() {
+        assert!(ElasticError::AlreadyMigrating
+            .to_string()
+            .contains("in flight"));
+        assert!(ElasticError::UnsupportedScheme("hash")
+            .to_string()
+            .contains("hash"));
+        assert!(ElasticError::UnsupportedBackend("delete")
+            .to_string()
+            .contains("delete"));
+        assert!(ElasticError::InvalidRange("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(ElasticError::Wal("sync failed".into())
+            .to_string()
+            .contains("sync failed"));
+        assert!(ElasticError::Aborted("wal").to_string().contains("wal"));
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ElasticError>();
+    }
+
+    #[test]
+    fn boundary_change_formats_open_and_closed_bounds() {
+        let change = BoundaryChange {
+            id: 7,
+            kind: TopologyKind::Split,
+            lo: Some(100),
+            hi: None,
+            from: 0,
+            to: 3,
+            keys_moved: 42,
+            epoch: 2,
+            pause_micros: 1_500,
+        };
+        let text = change.to_string();
+        assert!(text.contains("split #7"));
+        assert!(text.contains("[100, +inf)"));
+        assert!(text.contains("shard 0 -> 3"));
+        assert_eq!(TopologyKind::Merge.name(), "merge");
+        assert_eq!(TopologyKind::Migrate.name(), "migrate");
+    }
+}

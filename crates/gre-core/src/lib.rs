@@ -23,8 +23,13 @@
 //!   concurrent index variants (ALEX+, LIPP+, ART-OLC, B+TreeOLC).
 //! * [`wire`] — the stable byte encoding of [`ops::Request`] used by the
 //!   `gre-durability` write-ahead log.
+//! * [`elastic`] — the shared vocabulary of the online elasticity protocol
+//!   (typed [`elastic::ElasticError`], committed [`elastic::BoundaryChange`]
+//!   events) spoken between `gre-shard`'s mechanism and `gre-elastic`'s
+//!   policy layer.
 //! * [`error`] — the shared error type.
 
+pub mod elastic;
 pub mod error;
 pub mod index;
 pub mod key;
@@ -34,6 +39,7 @@ pub mod stats;
 pub mod sync;
 pub mod wire;
 
+pub use elastic::{BoundaryChange, ElasticError, TopologyKind};
 pub use error::{GreError, Result};
 pub use index::{ConcurrentIndex, Index, IndexMeta, RangeSpec};
 pub use key::{Entry, Key, Payload};

@@ -41,7 +41,8 @@ use gre_core::Request;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
 
 /// How often group commits are made durable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,12 @@ pub enum SyncPolicy {
     /// A barrier every `n` groups per shard (and on checkpoint/shutdown).
     /// Up to `n - 1` acknowledged groups per shard may be lost in a crash.
     EveryN(u32),
+    /// Time-based group commit: a shard's unsynced groups are made durable
+    /// within `ms` milliseconds of the *first* unsynced append — by the
+    /// append path once the interval has elapsed, and by a background
+    /// flusher thread for idle shards. Acknowledged groups younger than the
+    /// interval may be lost in a crash; nothing older can be.
+    EveryMillis(u64),
 }
 
 /// Why a group could not be logged.
@@ -101,6 +108,8 @@ struct ShardWal {
     next_seq: u64,
     /// Groups appended since the last durability barrier.
     unsynced: u32,
+    /// When the oldest unsynced append happened (drives `EveryMillis`).
+    first_unsynced: Option<Instant>,
     failed: bool,
     /// Encode scratch, reused across groups.
     buf: Vec<u8>,
@@ -110,6 +119,7 @@ impl ShardWal {
     fn barrier(&mut self) -> io::Result<()> {
         self.sink.sync()?;
         self.unsynced = 0;
+        self.first_unsynced = None;
         Ok(())
     }
 }
@@ -182,8 +192,12 @@ impl DurableLog {
         next_seqs: Option<&[u64]>,
     ) -> io::Result<Arc<DurableLog>> {
         assert!(shards > 0, "a durable log needs at least one shard");
-        if let SyncPolicy::EveryN(n) = policy {
-            assert!(n > 0, "SyncPolicy::EveryN(0) would never sync");
+        match policy {
+            SyncPolicy::EveryN(n) => assert!(n > 0, "SyncPolicy::EveryN(0) would never sync"),
+            SyncPolicy::EveryMillis(ms) => {
+                assert!(ms > 0, "SyncPolicy::EveryMillis(0) is EveryGroup, use that")
+            }
+            SyncPolicy::EveryGroup => {}
         }
         std::fs::create_dir_all(dir)?;
         write_manifest(dir, shards)?;
@@ -202,18 +216,38 @@ impl DurableLog {
                 sink,
                 next_seq: next_seqs.map_or(1, |s| s[shard]),
                 unsynced: 0,
+                first_unsynced: None,
                 failed: false,
                 buf: Vec::new(),
             }));
         }
-        Ok(Arc::new(DurableLog {
+        let log = Arc::new(DurableLog {
             dir: dir.to_path_buf(),
             shards: shard_wals,
             policy,
             registry,
             appends: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
-        }))
+        });
+        if let SyncPolicy::EveryMillis(ms) = policy {
+            // Detached flusher holding only a Weak: it syncs idle shards on
+            // a tick no longer than the interval (so the loss window stays
+            // bounded by it) and exits once the log is dropped. The append
+            // path handles busy shards itself, so a tick usually finds
+            // nothing pending.
+            let weak: Weak<DurableLog> = Arc::downgrade(&log);
+            let tick = Duration::from_millis(ms.clamp(1, 50));
+            std::thread::spawn(move || loop {
+                std::thread::sleep(tick);
+                match weak.upgrade() {
+                    Some(log) => {
+                        let _ = log.sync_all();
+                    }
+                    None => break,
+                }
+            });
+        }
+        Ok(log)
     }
 
     pub fn dir(&self) -> &Path {
@@ -252,9 +286,15 @@ impl DurableLog {
             return Err(WalError::Io(e));
         }
         wal.unsynced += 1;
+        if wal.first_unsynced.is_none() {
+            wal.first_unsynced = Some(Instant::now());
+        }
         let must_sync = match self.policy {
             SyncPolicy::EveryGroup => true,
             SyncPolicy::EveryN(n) => wal.unsynced >= n,
+            SyncPolicy::EveryMillis(ms) => wal
+                .first_unsynced
+                .is_some_and(|t| t.elapsed() >= Duration::from_millis(ms)),
         };
         let mut fsyncs = 0;
         if must_sync {
@@ -268,6 +308,45 @@ impl DurableLog {
         self.appends.fetch_add(1, Ordering::Relaxed);
         self.fsyncs.fetch_add(fsyncs, Ordering::Relaxed);
         Ok(GroupReceipt { seq, bytes, fsyncs })
+    }
+
+    /// Log one topology (range-handoff) record for `shard` and sync it
+    /// **unconditionally**, whatever the sync policy: handoff records are
+    /// the migration's commit point, so they are never allowed to sit in an
+    /// unsynced window. The elasticity controller writes the target's `In`
+    /// record(s) first, then the source's `Out` — an `Out` on disk therefore
+    /// proves the whole handoff is durable.
+    pub fn log_topology(
+        &self,
+        shard: usize,
+        topo: &crate::record::TopologyRecord,
+    ) -> Result<GroupReceipt, WalError> {
+        let mut wal = self.shard(shard);
+        if wal.failed {
+            return Err(WalError::Failed);
+        }
+        let seq = wal.next_seq;
+        let mut buf = std::mem::take(&mut wal.buf);
+        buf.clear();
+        let bytes = crate::record::encode_topology(seq, topo, &mut buf);
+        let appended = wal.sink.append(&buf);
+        wal.buf = buf;
+        if let Err(e) = appended {
+            wal.failed = true;
+            return Err(WalError::Io(e));
+        }
+        if let Err(e) = wal.barrier() {
+            wal.failed = true;
+            return Err(WalError::Io(e));
+        }
+        wal.next_seq = seq + 1;
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(GroupReceipt {
+            seq,
+            bytes,
+            fsyncs: 1,
+        })
     }
 
     /// Issue a durability barrier on every healthy shard (shutdown path and
@@ -443,6 +522,92 @@ mod tests {
             .expect("snapshot readable");
         assert_eq!(snap.last_seq, 2);
         assert_eq!(snap.entries, vec![(1, 10), (7, 70)]);
+    }
+
+    #[test]
+    fn every_millis_bounds_the_loss_window_by_the_interval() {
+        let dir = TempDir::new("wal-everymillis");
+        const INTERVAL_MS: u64 = 40;
+        let log = DurableLog::create(dir.path(), 1, SyncPolicy::EveryMillis(INTERVAL_MS)).unwrap();
+        // Within the interval nothing syncs: the append path issues no
+        // barrier and the sink buffers in-process, so a crash right now
+        // would lose the group — that loss is the policy's contract.
+        let receipt = log.log_group(0, &ops(1)).unwrap();
+        assert_eq!(receipt.fsyncs, 0, "no barrier inside the interval");
+        // With no further appends, the background flusher must make the
+        // group durable within the interval (plus scheduling slack): poll
+        // the on-disk log until the record shows up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let bytes = std::fs::read(wal_path(dir.path(), 0)).unwrap();
+            if !bytes.is_empty() {
+                let rec = decode_record(&bytes, 0).unwrap();
+                assert_eq!((rec.seq, rec.ops.clone()), (1, ops(1)));
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "flusher never synced an idle shard"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The stats counter ticks just after the barrier itself; give it
+        // the same deadline.
+        while log.stats().fsyncs == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "flusher sync never reached the stats counter"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Same bound for later windows: a second group is durable within
+        // the interval of its append, whichever path (inline or flusher)
+        // issues the barrier.
+        log.log_group(0, &ops(2)).unwrap(); // fresh window opens here
+        std::thread::sleep(Duration::from_millis(INTERVAL_MS + 10));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let bytes = std::fs::read(wal_path(dir.path(), 0)).unwrap();
+            let first = decode_record(&bytes, 0).unwrap();
+            if first.frame_len < bytes.len() {
+                let second = decode_record(&bytes, first.frame_len).unwrap();
+                assert_eq!((second.seq, second.ops.clone()), (2, ops(2)));
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "second window never became durable"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn topology_records_always_sync_and_share_the_seq_chain() {
+        use crate::record::{TopologyDirection, TopologyRecord};
+        let dir = TempDir::new("wal-topology");
+        // Deliberately a lazy policy: the topology record must sync anyway.
+        let log = DurableLog::create(dir.path(), 2, SyncPolicy::EveryN(100)).unwrap();
+        assert_eq!(log.log_group(0, &ops(1)).unwrap().fsyncs, 0);
+        let topo = TopologyRecord {
+            dir: TopologyDirection::Out,
+            id: 7,
+            lo: 100,
+            hi: Some(200),
+            peer: 1,
+            entries: Vec::new(),
+        };
+        let receipt = log.log_topology(0, &topo).unwrap();
+        assert_eq!(receipt.seq, 2, "topology records continue the seq chain");
+        assert_eq!(receipt.fsyncs, 1, "handoffs sync unconditionally");
+        // The preceding lazy group rode the same barrier: both records are
+        // on disk now.
+        let bytes = std::fs::read(wal_path(dir.path(), 0)).unwrap();
+        let first = decode_record(&bytes, 0).unwrap();
+        assert!(first.topology.is_none());
+        let second = decode_record(&bytes, first.frame_len).unwrap();
+        assert_eq!(second.topology, Some(topo));
+        assert_eq!(log.log_group(0, &ops(2)).unwrap().seq, 3);
     }
 
     #[test]

@@ -1,0 +1,503 @@
+//! The elasticity executor: live range-shard split / merge / migrate against
+//! a running [`ShardPipeline`] via drain-and-handoff.
+//!
+//! ## Protocol
+//!
+//! Every topology change moves one contiguous key range `[lo, hi)` from a
+//! source shard to a target shard through the same six steps:
+//!
+//! 1. **Freeze** — `ShardedIndex::freeze_range(lo, hi)` marks the window
+//!    migrating under the routing write lock. New batches touching it are
+//!    refused at submit (`BackpressureReason::Migrating`; blocking submits
+//!    park, retry policies back off); everything else keeps flowing. Only
+//!    one freeze may be active at a time, which serializes topology changes.
+//! 2. **Drain** — a [`ShardPipeline::drain_barrier`] waits out every queue:
+//!    FIFO order guarantees all work admitted *before* the freeze has
+//!    executed once the barrier completes.
+//! 3. **Seal** — `seal_frozen()` flips the window to sealed: from here until
+//!    the swap, direct (non-pipeline) operations touching the window wait,
+//!    because its entries are physically between backends.
+//! 4. **Extract** — `extract_range` bulk-removes the window from the source
+//!    backend.
+//! 5. **Handoff (durable targets)** — the moved entries are written to the
+//!    *target* shard's WAL as `In` records, synced, then a single `Out`
+//!    record is synced to the *source* shard's WAL. The `Out` is the commit
+//!    point: recovery applies an `In` exactly when its `Out` survived (or
+//!    the source checkpointed past it), so a crash replays to the pre- or
+//!    post-handoff topology, never a mix. A WAL failure here rolls back:
+//!    the entries are re-inserted into the source and the freeze aborted.
+//! 6. **Commit** — the entries are inserted into the target backend and
+//!    `commit_routing` atomically installs the edited boundary table
+//!    (epoch bump + `Arc` swap), clears the freeze, and wakes waiters.
+//!
+//! The pause is *per-range*: traffic outside `[lo, hi)` is served normally
+//! through every step. [`BoundaryChange`] events record each committed
+//! change; telemetry counts starts/completions, moved keys, and the summed
+//! pause time.
+
+use gre_core::elastic::{BoundaryChange, ElasticError, TopologyKind};
+use gre_core::{ConcurrentIndex, RangeSpec};
+use gre_durability::{TopologyDirection, TopologyRecord, TOPOLOGY_CHUNK};
+use gre_shard::{Partitioner, ShardPipeline};
+use gre_telemetry::CounterId;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::policy::{Action, ElasticPolicy, LoadWatcher};
+
+/// Drives live topology changes against a serving pipeline.
+///
+/// The controller is safe to share across threads; the routing freeze
+/// serializes concurrent topology attempts (the loser gets
+/// [`ElasticError::AlreadyMigrating`]).
+pub struct ElasticController<B: ConcurrentIndex<u64> + 'static> {
+    pipeline: Arc<ShardPipeline<B>>,
+    policy: ElasticPolicy,
+    changes: Mutex<Vec<BoundaryChange>>,
+    /// Handoff-id source for non-durable pipelines (durable ones derive the
+    /// id from the source shard's WAL seq, which survives restarts).
+    next_id: AtomicU64,
+}
+
+impl<B: ConcurrentIndex<u64> + 'static> ElasticController<B> {
+    /// A controller over `pipeline` with the given policy knobs.
+    pub fn new(pipeline: Arc<ShardPipeline<B>>, policy: ElasticPolicy) -> Self {
+        ElasticController {
+            pipeline,
+            policy,
+            changes: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The policy this controller plans with.
+    pub fn policy(&self) -> &ElasticPolicy {
+        &self.policy
+    }
+
+    /// The pipeline this controller operates on.
+    pub fn pipeline(&self) -> &Arc<ShardPipeline<B>> {
+        &self.pipeline
+    }
+
+    /// Every topology change committed so far, in commit order.
+    pub fn changes(&self) -> Vec<BoundaryChange> {
+        self.changes.lock().expect("changes poisoned").clone()
+    }
+
+    /// Split segment `seg` at `mid`: `[mid, seg_hi)` moves to shard `to`,
+    /// the lower half stays put. Only the moving half is frozen.
+    pub fn split_segment(
+        &self,
+        seg: usize,
+        mid: u64,
+        to: usize,
+    ) -> Result<BoundaryChange, ElasticError> {
+        self.execute(TopologyKind::Split, move |rp| {
+            if seg >= rp.segments() {
+                return Err("segment id out of range");
+            }
+            let (lo, hi) = rp.segment_range(seg);
+            if lo.is_some_and(|l| mid <= l) || hi.is_some_and(|h| mid >= h) {
+                return Err("split key not strictly inside the segment");
+            }
+            let from = rp.segment_target(seg);
+            Ok(Plan {
+                lo: Some(mid),
+                hi,
+                from,
+                to,
+                edit: Edit::SplitAt { seg, mid, to },
+            })
+        })
+    }
+
+    /// Move the whole of segment `seg` to shard `to`. When `to` already
+    /// serves an adjacent segment the boundary between them coalesces away —
+    /// a merge; otherwise the segment just changes owner — a migrate.
+    pub fn move_segment(&self, seg: usize, to: usize) -> Result<BoundaryChange, ElasticError> {
+        let kind = {
+            let p = self.pipeline.index().partitioner();
+            let rp = p
+                .as_range()
+                .ok_or(ElasticError::UnsupportedScheme(p.scheme()))?;
+            let adjacent = |other: usize| {
+                other < rp.segments() && other != seg && rp.segment_target(other) == to
+            };
+            if (seg > 0 && adjacent(seg - 1)) || adjacent(seg + 1) {
+                TopologyKind::Merge
+            } else {
+                TopologyKind::Migrate
+            }
+        };
+        self.execute(kind, move |rp| {
+            if seg >= rp.segments() {
+                return Err("segment id out of range");
+            }
+            let (lo, hi) = rp.segment_range(seg);
+            let from = rp.segment_target(seg);
+            Ok(Plan {
+                lo,
+                hi,
+                from,
+                to,
+                edit: Edit::Reassign { seg, to },
+            })
+        })
+    }
+
+    /// Policy-level split of a hot shard: pick its most populated segment,
+    /// cut it at the median live key, and move the upper half to the
+    /// least-loaded other shard (fewest stored keys). Prefer
+    /// [`ElasticController::split_hot_to`] when a recent traffic picture is
+    /// available — key counts see-saw with every move, so a keys-based
+    /// target can ping-pong a hotspot between the two busiest shards.
+    pub fn split_hot(&self, shard: usize) -> Result<BoundaryChange, ElasticError> {
+        self.split_hot_to(shard, None)
+    }
+
+    /// Like [`ElasticController::split_hot`], moving the upper half to
+    /// `target` when given (e.g. the traffic-coldest shard from
+    /// [`LoadWatcher::coldest_recent`]).
+    ///
+    /// [`LoadWatcher::coldest_recent`]: crate::policy::LoadWatcher::coldest_recent
+    pub fn split_hot_to(
+        &self,
+        shard: usize,
+        target: Option<usize>,
+    ) -> Result<BoundaryChange, ElasticError> {
+        let index = self.pipeline.index();
+        let p = index.partitioner();
+        let rp = p
+            .as_range()
+            .ok_or(ElasticError::UnsupportedScheme(p.scheme()))?;
+        let (seg, slice_keys) = self.segment_census(rp, shard, |counts| {
+            counts.iter().cloned().enumerate().max_by_key(|&(_, n)| n)
+        })?;
+        if slice_keys.len() < self.policy.min_split_keys.max(2) {
+            return Err(ElasticError::InvalidRange(format!(
+                "segment {seg} holds {} keys, below the split floor",
+                slice_keys.len()
+            )));
+        }
+        let mid = slice_keys[slice_keys.len() / 2];
+        let to = match target {
+            Some(to) if to != shard => to,
+            _ => {
+                let lens = index.per_shard_lens();
+                (0..lens.len())
+                    .filter(|&s| s != shard)
+                    .min_by_key(|&s| lens[s])
+                    .ok_or(ElasticError::InvalidRange(
+                        "a single-shard store cannot split".to_string(),
+                    ))?
+            }
+        };
+        self.split_segment(seg, mid, to)
+    }
+
+    /// Policy-level merge of a cold shard: fold its least populated segment
+    /// into the shard serving an adjacent segment.
+    pub fn merge_coldest(&self, shard: usize) -> Result<BoundaryChange, ElasticError> {
+        let index = self.pipeline.index();
+        let p = index.partitioner();
+        let rp = p
+            .as_range()
+            .ok_or(ElasticError::UnsupportedScheme(p.scheme()))?;
+        if rp.segments() <= 1 {
+            return Err(ElasticError::InvalidRange(
+                "a single-segment table has nothing to merge".to_string(),
+            ));
+        }
+        let (seg, _) = self.segment_census(rp, shard, |counts| {
+            counts.iter().cloned().enumerate().min_by_key(|&(_, n)| n)
+        })?;
+        // An adjacent segment always has a different target (equal-target
+        // neighbours coalesce on every edit), so either side works; prefer
+        // the right neighbour.
+        let to = if seg + 1 < rp.segments() {
+            rp.segment_target(seg + 1)
+        } else {
+            rp.segment_target(seg - 1)
+        };
+        self.move_segment(seg, to)
+    }
+
+    /// One policy tick: read the per-shard completed-op counters from the
+    /// pipeline's telemetry, feed the watcher, and execute any recommended
+    /// action. Returns `None` when no action was due (or the pipeline has
+    /// no telemetry attached — the watcher is blind without it).
+    pub fn tick(&self, watcher: &mut LoadWatcher) -> Option<Result<BoundaryChange, ElasticError>> {
+        let telemetry = self.pipeline.telemetry()?;
+        let m = telemetry.metrics();
+        let ops: Vec<u64> = (0..m.shard_count())
+            .map(|s| m.shard(s).ops_completed())
+            .collect();
+        match watcher.observe(&ops)? {
+            Action::Split { shard } => {
+                Some(self.split_hot_to(shard, watcher.coldest_recent(shard)))
+            }
+            Action::Merge { shard } => Some(self.merge_coldest(shard)),
+        }
+    }
+
+    /// Run the watch-and-rebalance loop until `stop` is set (or the
+    /// pipeline shuts down): observe every `interval`, act when an
+    /// imbalance sustains. Failed actions (e.g. a segment below the split
+    /// floor) are skipped; the next sustained imbalance retries.
+    pub fn run(&self, stop: &AtomicBool, interval: Duration) {
+        let shards = self.pipeline.index().num_shards();
+        let mut watcher = LoadWatcher::new(self.policy, shards);
+        while !stop.load(Ordering::Acquire) && !self.pipeline.is_shutting_down() {
+            std::thread::sleep(interval);
+            let _ = self.tick(&mut watcher);
+        }
+    }
+
+    /// Count the live keys of each of `shard`'s segments (one ordered scan
+    /// of the backend, split at the segment boundaries) and let `pick`
+    /// choose among them. Returns the chosen segment's global id and its
+    /// keys.
+    fn segment_census(
+        &self,
+        rp: &gre_shard::RangePartitioner<u64>,
+        shard: usize,
+        pick: impl FnOnce(&[usize]) -> Option<(usize, usize)>,
+    ) -> Result<(usize, Vec<u64>), ElasticError> {
+        let segs = rp.segments_of_shard(shard);
+        if segs.is_empty() {
+            return Err(ElasticError::InvalidRange(format!(
+                "shard {shard} serves no segment"
+            )));
+        }
+        let backend = self.pipeline.index().backend(shard);
+        let mut all = Vec::with_capacity(backend.len());
+        backend.range(RangeSpec::new(u64::MIN, usize::MAX), &mut all);
+        let keys: Vec<u64> = all.into_iter().map(|(k, _)| k).collect();
+        let bounds: Vec<(usize, usize)> = segs
+            .iter()
+            .map(|&seg| {
+                let (lo, hi) = rp.segment_range(seg);
+                let a = lo.map_or(0, |l| keys.partition_point(|&k| k < l));
+                let b = hi.map_or(keys.len(), |h| keys.partition_point(|&k| k < h));
+                (a, b)
+            })
+            .collect();
+        let counts: Vec<usize> = bounds.iter().map(|&(a, b)| b - a).collect();
+        let (local, _) = pick(&counts).expect("segs is non-empty");
+        let (a, b) = bounds[local];
+        Ok((segs[local], keys[a..b].to_vec()))
+    }
+
+    /// The shared drain-and-handoff engine. `plan` inspects the live
+    /// boundary table (under the active freeze) and names the moving range,
+    /// the shards involved, and the table edit to commit.
+    fn execute(
+        &self,
+        kind: TopologyKind,
+        plan: impl FnOnce(&gre_shard::RangePartitioner<u64>) -> Result<Plan, &'static str>,
+    ) -> Result<BoundaryChange, ElasticError> {
+        let index = self.pipeline.index();
+        {
+            let p = index.partitioner();
+            if p.as_range().is_none() {
+                return Err(ElasticError::UnsupportedScheme(p.scheme()));
+            }
+        }
+        let started = Instant::now();
+        // Freeze the whole domain briefly to plan against a stable table,
+        // then narrow: planning needs the table to not change under it, and
+        // the freeze is the only mutual exclusion topology changes have.
+        // Narrowing = abort + re-freeze of the actual window would open a
+        // race window, so instead the plan is made first on a snapshot, the
+        // snapshot's window frozen, and the plan re-validated against the
+        // live table after the freeze (they can only differ if a change
+        // committed in between, which the epoch check catches).
+        let (plan, epoch_at_plan) = {
+            let p = index.partitioner();
+            let rp = p.as_range().expect("checked above");
+            let plan = plan(rp).map_err(|m| ElasticError::InvalidRange(m.to_string()))?;
+            (plan, index.routing_epoch())
+        };
+        if plan.from == plan.to {
+            return Err(ElasticError::InvalidRange(
+                "source and target shard are identical".to_string(),
+            ));
+        }
+        if plan.to >= index.num_shards() {
+            return Err(ElasticError::InvalidRange(format!(
+                "target shard {} out of range",
+                plan.to
+            )));
+        }
+        let meta = index.backend(plan.from).meta();
+        if !meta.supports_range {
+            return Err(ElasticError::UnsupportedBackend(
+                "range scans (bulk extraction)",
+            ));
+        }
+        if !meta.supports_delete {
+            return Err(ElasticError::UnsupportedBackend(
+                "deletes (vacating the source shard)",
+            ));
+        }
+        index.freeze_range(plan.lo, plan.hi)?;
+        if index.routing_epoch() != epoch_at_plan {
+            // A topology change committed between planning and freezing;
+            // the plan's segment ids are stale.
+            index.abort_freeze();
+            return Err(ElasticError::Aborted("routing changed while planning"));
+        }
+        self.count(match kind {
+            TopologyKind::Merge => CounterId::MergesStarted,
+            TopologyKind::Split | TopologyKind::Migrate => CounterId::SplitsStarted,
+        });
+
+        // --- frozen: failures from here must abort the freeze ---
+        self.pipeline.drain_barrier().wait();
+        if let Err(e) = index.seal_frozen() {
+            index.abort_freeze();
+            return Err(e);
+        }
+        let mut moved: Vec<(u64, u64)> = Vec::new();
+        index
+            .backend(plan.from)
+            .extract_range(plan.lo.unwrap_or(u64::MIN), plan.hi, &mut moved);
+
+        // --- extracted: failures from here must also restore the entries ---
+        let id = match self.log_handoff(&plan, &moved) {
+            Ok(id) => id,
+            Err(e) => {
+                index.backend(plan.from).absorb_range(&moved);
+                index.abort_freeze();
+                return Err(e);
+            }
+        };
+        index.backend(plan.to).absorb_range(&moved);
+        let mut table = Partitioner::clone(&index.partitioner());
+        let edited = {
+            let rp = table.as_range_mut().expect("scheme checked above");
+            match plan.edit {
+                Edit::SplitAt { seg, mid, to } => rp.split_at(seg, mid, to),
+                Edit::Reassign { seg, to } => rp.reassign(seg, to),
+            }
+        };
+        if let Err(m) = edited {
+            // Unreachable in practice (the plan was validated against the
+            // same table, and the freeze blocked further edits), but never
+            // strand the moved entries on a planning bug: pull them back.
+            for &(k, v) in &moved {
+                index.backend(plan.from).remove(k);
+                index.backend(plan.from).insert(k, v);
+            }
+            for &(k, _) in &moved {
+                index.backend(plan.to).remove(k);
+            }
+            index.abort_freeze();
+            return Err(ElasticError::InvalidRange(m.to_string()));
+        }
+        // Infallible here: the table is a clone of the live one, so the
+        // shard count matches by construction — and failing *after* the
+        // entries landed in the target must not strand the freeze.
+        let epoch = index
+            .commit_routing(table)
+            .expect("cloned table routes over the same shard count");
+        let pause_micros = started.elapsed().as_micros() as u64;
+
+        self.count(match kind {
+            TopologyKind::Merge => CounterId::MergesCompleted,
+            TopologyKind::Split | TopologyKind::Migrate => CounterId::SplitsCompleted,
+        });
+        self.add(CounterId::KeysMigrated, moved.len() as u64);
+        self.add(CounterId::MigrationPauseMicros, pause_micros);
+        let change = BoundaryChange {
+            id,
+            kind,
+            lo: plan.lo,
+            hi: plan.hi,
+            from: plan.from,
+            to: plan.to,
+            keys_moved: moved.len(),
+            epoch,
+            pause_micros,
+        };
+        self.changes
+            .lock()
+            .expect("changes poisoned")
+            .push(change.clone());
+        Ok(change)
+    }
+
+    /// Write the WAL handoff for a durable pipeline: `In` record(s) with
+    /// the moved entries to the target shard's log (each synced), then the
+    /// `Out` record to the source's log (synced — the commit point). A
+    /// non-durable pipeline just allocates an id.
+    fn log_handoff(&self, plan: &Plan, moved: &[(u64, u64)]) -> Result<u64, ElasticError> {
+        let Some(log) = self.pipeline.durability() else {
+            return Ok(self.next_id.fetch_add(1, Ordering::Relaxed));
+        };
+        let id = ((plan.from as u64) << 48) | log.next_seq(plan.from);
+        let lo = plan.lo.unwrap_or(u64::MIN);
+        let mut chunks = moved.chunks(TOPOLOGY_CHUNK);
+        loop {
+            // At least one `In` even for an empty range, so recovery sees
+            // the full pair.
+            let entries = chunks.next().map(|c| c.to_vec()).unwrap_or_default();
+            let last = entries.len() < TOPOLOGY_CHUNK;
+            log.log_topology(
+                plan.to,
+                &TopologyRecord {
+                    dir: TopologyDirection::In,
+                    id,
+                    lo,
+                    hi: plan.hi,
+                    peer: plan.from as u32,
+                    entries,
+                },
+            )
+            .map_err(|e| ElasticError::Wal(e.to_string()))?;
+            if last {
+                break;
+            }
+        }
+        log.log_topology(
+            plan.from,
+            &TopologyRecord {
+                dir: TopologyDirection::Out,
+                id,
+                lo,
+                hi: plan.hi,
+                peer: plan.to as u32,
+                entries: Vec::new(),
+            },
+        )
+        .map_err(|e| ElasticError::Wal(e.to_string()))?;
+        Ok(id)
+    }
+
+    fn count(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    fn add(&self, id: CounterId, n: u64) {
+        if let Some(t) = self.pipeline.telemetry() {
+            t.metrics().stripe(0).add(id, n);
+        }
+    }
+}
+
+/// A concrete topology change: the moving window, the shards, and the
+/// boundary-table edit that commits it.
+struct Plan {
+    lo: Option<u64>,
+    hi: Option<u64>,
+    from: usize,
+    to: usize,
+    edit: Edit,
+}
+
+enum Edit {
+    SplitAt { seg: usize, mid: u64, to: usize },
+    Reassign { seg: usize, to: usize },
+}

@@ -1,0 +1,34 @@
+//! # gre-elastic
+//!
+//! Online elasticity for the GRE serving stack: watch the per-shard load,
+//! detect sustained imbalance, and repartition the key space **under live
+//! traffic** — split a hot range shard, fold a cold segment into its
+//! neighbour, or migrate a segment to another shard — without ever pausing
+//! serving globally.
+//!
+//! * [`policy`] — [`policy::ElasticPolicy`] (the knobs) and
+//!   [`policy::LoadWatcher`], a pure-logic detector over windowed per-shard
+//!   throughput snapshots: it takes deltas of cumulative op counters, tracks
+//!   hot/cold streaks against share thresholds, and emits a
+//!   [`policy::Action`] once an imbalance sustains past the configured
+//!   window (with a cooldown between consecutive actions).
+//! * [`controller`] — [`controller::ElasticController`], the executor: it
+//!   drives the drain-and-handoff protocol against a running
+//!   [`gre_shard::ShardPipeline`]: freeze routing for the moving range,
+//!   drain the FIFO queues, seal the window, bulk-extract, write the WAL
+//!   topology handoff (when durable), bulk-insert into the target, and
+//!   atomically swap the routing table. Only traffic targeting the moved
+//!   range observes the pause; every other key keeps serving throughout.
+//!
+//! The shared vocabulary (typed [`gre_core::elastic::ElasticError`], the
+//! [`gre_core::elastic::BoundaryChange`] event) lives in `gre-core`; the
+//! routing mechanism (freeze/seal/commit epochs) in `gre-shard`; the
+//! crash-consistent handoff records in `gre-durability`. See
+//! `docs/ELASTICITY.md` for the full protocol walk-through.
+
+pub mod controller;
+pub mod policy;
+
+pub use controller::ElasticController;
+pub use gre_core::elastic::{BoundaryChange, ElasticError, TopologyKind};
+pub use policy::{Action, ElasticPolicy, LoadWatcher};

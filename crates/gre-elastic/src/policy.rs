@@ -1,0 +1,314 @@
+//! Imbalance detection policy: pure logic over windowed per-shard load
+//! snapshots, separated from the executor so it is unit-testable without
+//! threads, pipelines, or clocks.
+//!
+//! The [`LoadWatcher`] consumes *cumulative* per-shard completed-op counters
+//! (exactly what `gre-telemetry`'s `ShardScope::ops_completed` exposes),
+//! differentiates them into per-tick throughput shares, and demands that an
+//! imbalance **sustain** for a configured number of consecutive ticks before
+//! recommending a topology change — a single bursty interval never triggers
+//! a migration, and a cooldown separates consecutive actions so the serving
+//! layer observes the effect of one change before the next is planned.
+
+/// Tuning knobs for the elasticity policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticPolicy {
+    /// A shard is *hot* when its share of the tick's completed ops is at
+    /// least this fraction. With `S` shards the fair share is `1/S`, so a
+    /// sensible threshold is a small multiple of that.
+    pub hot_share: f64,
+    /// A shard is *cold* when its share is at most this fraction.
+    pub cold_share: f64,
+    /// Consecutive ticks a shard must stay hot before a split is
+    /// recommended (the sustain window).
+    pub hot_sustain: u32,
+    /// Consecutive ticks a shard must stay cold before a merge is
+    /// recommended.
+    pub cold_sustain: u32,
+    /// Ticks to wait after any recommendation before another one may fire
+    /// (lets the previous topology change take effect first).
+    pub cooldown: u32,
+    /// Ticks with fewer completed ops than this are ignored entirely:
+    /// shares of a near-idle interval are noise, not load.
+    pub min_ops_per_tick: u64,
+    /// Segments with fewer live keys than this are never split.
+    pub min_split_keys: usize,
+}
+
+impl Default for ElasticPolicy {
+    fn default() -> Self {
+        ElasticPolicy {
+            hot_share: 0.5,
+            cold_share: 0.02,
+            hot_sustain: 3,
+            cold_sustain: 5,
+            cooldown: 5,
+            min_ops_per_tick: 1_000,
+            min_split_keys: 64,
+        }
+    }
+}
+
+/// A topology change the watcher recommends. The controller turns the shard
+/// id into a concrete segment plan (which segment, where to cut, which
+/// target shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Split the hot shard's largest segment and move the upper half away.
+    Split { shard: usize },
+    /// Fold one of the cold shard's segments into a neighbouring shard.
+    Merge { shard: usize },
+}
+
+/// Streak-tracking imbalance detector over cumulative per-shard op counters.
+#[derive(Debug)]
+pub struct LoadWatcher {
+    policy: ElasticPolicy,
+    /// Cumulative counter values at the previous observation.
+    last_ops: Vec<u64>,
+    /// Consecutive hot ticks per shard.
+    hot_streak: Vec<u32>,
+    /// Consecutive cold ticks per shard.
+    cold_streak: Vec<u32>,
+    cooldown_left: u32,
+    primed: bool,
+    /// Per-shard op deltas of the most recent non-idle tick: the traffic
+    /// picture a migration target should be chosen from.
+    last_deltas: Option<Vec<u64>>,
+}
+
+impl LoadWatcher {
+    /// A watcher for `shards` shards under `policy`.
+    pub fn new(policy: ElasticPolicy, shards: usize) -> Self {
+        LoadWatcher {
+            policy,
+            last_ops: vec![0; shards],
+            hot_streak: vec![0; shards],
+            cold_streak: vec![0; shards],
+            cooldown_left: 0,
+            primed: false,
+            last_deltas: None,
+        }
+    }
+
+    /// The policy this watcher runs.
+    pub fn policy(&self) -> &ElasticPolicy {
+        &self.policy
+    }
+
+    /// Feed one observation of the cumulative per-shard completed-op
+    /// counters; returns a recommendation when an imbalance has sustained
+    /// past its window. The first observation only primes the baseline.
+    ///
+    /// # Panics
+    /// If `ops_completed.len()` differs from the watcher's shard count.
+    pub fn observe(&mut self, ops_completed: &[u64]) -> Option<Action> {
+        assert_eq!(
+            ops_completed.len(),
+            self.last_ops.len(),
+            "observation arity must match the shard count"
+        );
+        let deltas: Vec<u64> = ops_completed
+            .iter()
+            .zip(&self.last_ops)
+            .map(|(&now, &then)| now.saturating_sub(then))
+            .collect();
+        self.last_ops.copy_from_slice(ops_completed);
+        if !self.primed {
+            self.primed = true;
+            return None;
+        }
+        let total: u64 = deltas.iter().sum();
+        if total < self.policy.min_ops_per_tick {
+            // Idle interval: shares are meaningless, streaks decay.
+            self.hot_streak.iter_mut().for_each(|s| *s = 0);
+            self.cold_streak.iter_mut().for_each(|s| *s = 0);
+            self.cooldown_left = self.cooldown_left.saturating_sub(1);
+            return None;
+        }
+        self.last_deltas = Some(deltas.clone());
+        for (shard, &delta) in deltas.iter().enumerate() {
+            let share = delta as f64 / total as f64;
+            if share >= self.policy.hot_share {
+                self.hot_streak[shard] += 1;
+            } else {
+                self.hot_streak[shard] = 0;
+            }
+            if share <= self.policy.cold_share {
+                self.cold_streak[shard] += 1;
+            } else {
+                self.cold_streak[shard] = 0;
+            }
+        }
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return None;
+        }
+        // Splits take priority: overload hurts tail latency immediately,
+        // while a cold shard is merely wasted capacity. Among qualifying
+        // shards, the hottest (longest streak, then lowest id) wins.
+        let split = (0..deltas.len())
+            .filter(|&s| self.hot_streak[s] >= self.policy.hot_sustain)
+            .max_by_key(|&s| (self.hot_streak[s], std::cmp::Reverse(s)));
+        if let Some(shard) = split {
+            self.arm_cooldown(shard);
+            return Some(Action::Split { shard });
+        }
+        let merge = (0..deltas.len())
+            .filter(|&s| self.cold_streak[s] >= self.policy.cold_sustain)
+            .max_by_key(|&s| (self.cold_streak[s], std::cmp::Reverse(s)));
+        if let Some(shard) = merge {
+            self.arm_cooldown(shard);
+            return Some(Action::Merge { shard });
+        }
+        None
+    }
+
+    /// The shard that served the *least* traffic in the most recent non-idle
+    /// tick, excluding `not` — the natural target for a migration away from
+    /// a hot shard. Choosing the target by recent traffic (not by stored key
+    /// count) is what makes repeated splits spread a hotspot across the
+    /// whole fleet instead of ping-ponging keys between the two busiest
+    /// shards, whose key counts see-saw with every move. `None` until a
+    /// non-idle tick has been observed.
+    pub fn coldest_recent(&self, not: usize) -> Option<usize> {
+        let deltas = self.last_deltas.as_ref()?;
+        (0..deltas.len())
+            .filter(|&s| s != not)
+            .min_by_key(|&s| deltas[s])
+    }
+
+    fn arm_cooldown(&mut self, acted_on: usize) {
+        self.cooldown_left = self.policy.cooldown;
+        self.hot_streak[acted_on] = 0;
+        self.cold_streak[acted_on] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> ElasticPolicy {
+        ElasticPolicy {
+            hot_share: 0.5,
+            cold_share: 0.05,
+            hot_sustain: 3,
+            cold_sustain: 3,
+            cooldown: 2,
+            min_ops_per_tick: 100,
+            min_split_keys: 8,
+        }
+    }
+
+    /// Feed cumulative counters built from per-tick deltas.
+    fn feed(w: &mut LoadWatcher, cum: &mut [u64], deltas: &[u64]) -> Option<Action> {
+        for (c, d) in cum.iter_mut().zip(deltas) {
+            *c += d;
+        }
+        w.observe(cum)
+    }
+
+    #[test]
+    fn sustained_hot_shard_triggers_a_split_once() {
+        let mut w = LoadWatcher::new(policy(), 4);
+        let mut cum = [0u64; 4];
+        assert_eq!(w.observe(&cum), None, "first observation only primes");
+        // Shard 2 takes 70% of the traffic. Two hot ticks: not sustained.
+        assert_eq!(feed(&mut w, &mut cum, &[100, 100, 700, 100]), None);
+        assert_eq!(feed(&mut w, &mut cum, &[100, 100, 700, 100]), None);
+        // Third consecutive hot tick crosses the sustain window.
+        assert_eq!(
+            feed(&mut w, &mut cum, &[100, 100, 700, 100]),
+            Some(Action::Split { shard: 2 })
+        );
+        // Cooldown: the imbalance persists but no new action fires.
+        assert_eq!(feed(&mut w, &mut cum, &[100, 100, 700, 100]), None);
+        assert_eq!(feed(&mut w, &mut cum, &[100, 100, 700, 100]), None);
+    }
+
+    #[test]
+    fn a_single_burst_does_not_trigger() {
+        let mut w = LoadWatcher::new(policy(), 3);
+        let mut cum = [0u64; 3];
+        w.observe(&cum);
+        assert_eq!(feed(&mut w, &mut cum, &[800, 100, 100]), None);
+        // Balance restored: the streak resets.
+        assert_eq!(feed(&mut w, &mut cum, &[334, 333, 333]), None);
+        assert_eq!(feed(&mut w, &mut cum, &[800, 100, 100]), None);
+        assert_eq!(feed(&mut w, &mut cum, &[800, 100, 100]), None);
+        // The reset means this is only tick 3 of the new streak.
+        assert_eq!(
+            feed(&mut w, &mut cum, &[800, 100, 100]),
+            Some(Action::Split { shard: 0 })
+        );
+    }
+
+    #[test]
+    fn idle_ticks_are_ignored_and_decay_streaks() {
+        let mut w = LoadWatcher::new(policy(), 2);
+        let mut cum = [0u64; 2];
+        w.observe(&cum);
+        assert_eq!(feed(&mut w, &mut cum, &[900, 100]), None);
+        assert_eq!(feed(&mut w, &mut cum, &[900, 100]), None);
+        // Near-idle tick: below min_ops_per_tick, shares are noise.
+        assert_eq!(feed(&mut w, &mut cum, &[30, 1]), None);
+        assert_eq!(feed(&mut w, &mut cum, &[900, 100]), None);
+        assert_eq!(feed(&mut w, &mut cum, &[900, 100]), None);
+        assert_eq!(
+            feed(&mut w, &mut cum, &[900, 100]),
+            Some(Action::Split { shard: 0 })
+        );
+    }
+
+    #[test]
+    fn sustained_cold_shard_triggers_a_merge() {
+        let mut w = LoadWatcher::new(policy(), 4);
+        let mut cum = [0u64; 4];
+        w.observe(&cum);
+        // Shard 3 serves ~1% — cold but nobody is hot (max share 33%).
+        for _ in 0..2 {
+            assert_eq!(feed(&mut w, &mut cum, &[330, 330, 330, 10]), None);
+        }
+        assert_eq!(
+            feed(&mut w, &mut cum, &[330, 330, 330, 10]),
+            Some(Action::Merge { shard: 3 })
+        );
+    }
+
+    #[test]
+    fn split_takes_priority_over_merge() {
+        let mut w = LoadWatcher::new(policy(), 3);
+        let mut cum = [0u64; 3];
+        w.observe(&cum);
+        // Shard 0 hot and shard 2 cold simultaneously.
+        for _ in 0..2 {
+            assert_eq!(feed(&mut w, &mut cum, &[800, 190, 10]), None);
+        }
+        assert_eq!(
+            feed(&mut w, &mut cum, &[800, 190, 10]),
+            Some(Action::Split { shard: 0 })
+        );
+    }
+
+    #[test]
+    fn coldest_recent_reflects_the_last_active_tick() {
+        let mut w = LoadWatcher::new(policy(), 4);
+        let mut cum = [0u64; 4];
+        assert_eq!(w.coldest_recent(0), None, "no traffic observed yet");
+        w.observe(&cum);
+        feed(&mut w, &mut cum, &[500, 300, 150, 50]);
+        assert_eq!(w.coldest_recent(0), Some(3));
+        assert_eq!(w.coldest_recent(3), Some(2), "the hot shard is excluded");
+        // An idle tick does not overwrite the last useful traffic picture.
+        feed(&mut w, &mut cum, &[1, 1, 1, 1]);
+        assert_eq!(w.coldest_recent(0), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "observation arity")]
+    fn mismatched_observation_arity_panics() {
+        let mut w = LoadWatcher::new(policy(), 4);
+        let _ = w.observe(&[0, 0]);
+    }
+}

@@ -187,6 +187,75 @@ impl<K: Key> ConcurrentIndex<K> for AlexPlus<K> {
         out.len() - before
     }
 
+    /// Migration bulk-extract: rebuild each overlapping inner partition
+    /// without the moving window instead of removing its keys one at a
+    /// time. Per-key removes leave gapped, model-stale nodes behind; a bulk
+    /// reload leaves the same structure a fresh bulk_load would.
+    fn extract_range(&self, lo: K, hi: Option<K>, out: &mut Vec<(K, Payload)>) -> usize {
+        let before = out.len();
+        let first = self.partition_for(lo);
+        let last = hi.map_or(self.partitions.len() - 1, |h| self.partition_for(h));
+        let mut all: Vec<(K, Payload)> = Vec::new();
+        for part in first..=last {
+            let mut alex = self.partitions[part].write();
+            all.clear();
+            alex.range(RangeSpec::new(K::MIN, usize::MAX), &mut all);
+            let a = all.partition_point(|e| e.0 < lo);
+            let b = hi.map_or(all.len(), |h| all.partition_point(|e| e.0 < h));
+            if a == b {
+                continue;
+            }
+            out.extend_from_slice(&all[a..b]);
+            let mut keep: Vec<(K, Payload)> = Vec::with_capacity(all.len() - (b - a));
+            keep.extend_from_slice(&all[..a]);
+            keep.extend_from_slice(&all[b..]);
+            let mut fresh = Alex::with_config(alex.config());
+            fresh.bulk_load(&keep);
+            *alex = fresh;
+        }
+        out.len() - before
+    }
+
+    /// Migration bulk-absorb: merge the landed entries into each receiving
+    /// inner partition with one bulk reload per partition. The incoming
+    /// range usually lies outside the boundaries fitted at bulk_load time,
+    /// so the default per-key insert path would pile the whole range into
+    /// one edge partition as incrementally-grown nodes — and then serve the
+    /// (likely hot) migrated range from the worst structure in the store.
+    fn absorb_range(&self, entries: &[(K, Payload)]) {
+        let mut start = 0usize;
+        while start < entries.len() {
+            let part = self.partition_for(entries[start].0);
+            // The run of incoming entries routed to this partition.
+            let end = if part < self.boundaries.len() {
+                let b = self.boundaries[part];
+                start + entries[start..].partition_point(|e| e.0 < b)
+            } else {
+                entries.len()
+            };
+            let mut alex = self.partitions[part].write();
+            let mut existing: Vec<(K, Payload)> = Vec::new();
+            alex.range(RangeSpec::new(K::MIN, usize::MAX), &mut existing);
+            let mut merged: Vec<(K, Payload)> = Vec::with_capacity(existing.len() + (end - start));
+            let (mut i, mut j) = (0usize, start);
+            while i < existing.len() && j < end {
+                if existing[i].0 <= entries[j].0 {
+                    merged.push(existing[i]);
+                    i += 1;
+                } else {
+                    merged.push(entries[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&existing[i..]);
+            merged.extend_from_slice(&entries[j..end]);
+            let mut fresh = Alex::with_config(alex.config());
+            fresh.bulk_load(&merged);
+            *alex = fresh;
+            start = end;
+        }
+    }
+
     fn len(&self) -> usize {
         self.partitions.iter().map(|p| p.read().len()).sum()
     }

@@ -151,6 +151,13 @@ pub enum BackpressureReason {
     },
     /// The submitting [`Session`]'s in-flight window was full.
     WindowFull,
+    /// The batch touches a key range frozen by an in-flight migration.
+    /// Transient like the other reasons: retry (the existing
+    /// [`RetryPolicy`] backoff works unchanged) or block via
+    /// [`ShardPipeline::submit`], and the batch goes through once the
+    /// routing swap commits. Batches not touching the frozen range are
+    /// unaffected — serving is never globally paused.
+    Migrating,
 }
 
 impl std::fmt::Display for Backpressure {
@@ -164,6 +171,11 @@ impl std::fmt::Display for Backpressure {
             BackpressureReason::WindowFull => write!(
                 f,
                 "session in-flight window full; batch of {} ops rejected",
+                self.batch.len()
+            ),
+            BackpressureReason::Migrating => write!(
+                f,
+                "batch of {} ops touches a migrating key range; retry after the routing swap",
                 self.batch.len()
             ),
         }
@@ -311,6 +323,11 @@ struct Job {
     enqueue_ns: u64,
     /// The sampled span this sub-batch carries, if any.
     trace: Option<PendingSpan>,
+    /// A drain barrier: carries no ops, executes nothing, and completes its
+    /// handle as soon as the worker dequeues it. Because each worker's queue
+    /// is FIFO, a completed barrier proves every job enqueued before it has
+    /// finished — the elasticity controller's drain step.
+    barrier: bool,
 }
 
 /// Submit-side half of a sampled span, completed by the executing worker.
@@ -468,6 +485,26 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
                     .map(|s| index.backend(s).meta())
                     .collect();
                 while let Ok(job) = rx.recv() {
+                    if job.barrier {
+                        // A drain barrier proves the queue ahead of it is
+                        // empty; it carries no ops, so it skips durability,
+                        // execution, and all telemetry (nothing entered the
+                        // submit-side counters for it either — only the
+                        // depth gauge, reversed here).
+                        {
+                            let mut state = job.shared.state.lock().expect("pipeline poisoned");
+                            state.pending -= 1;
+                            if state.pending == 0 {
+                                job.shared.ready.notify_all();
+                            }
+                        }
+                        gauge.depths[job.shard].fetch_sub(1, Ordering::SeqCst);
+                        if gauge.waiters.load(Ordering::SeqCst) > 0 {
+                            let _g = gauge.lock.lock().expect("pipeline poisoned");
+                            gauge.freed.notify_all();
+                        }
+                        continue;
+                    }
                     // Dequeue-side telemetry: queue wait and sub-batch size,
                     // stamped before execution so service time is separable.
                     let execute_ns = telemetry.as_deref().map(|t| {
@@ -667,13 +704,35 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
             });
         }
         let shards = self.index.num_shards();
-        let partitioner = self.index.partitioner();
+        // Route under the routing read guard and hold it through enqueue:
+        // a routing swap (split/merge commit) cannot land between splitting
+        // the batch and queueing it, so every enqueued job was routed by the
+        // partitioner its worker will observe as current or older — and FIFO
+        // order makes older always safe (the freeze protocol drains it).
+        let routing = self.index.routing();
+        if let Some(f) = routing.frozen {
+            let touches = batch.ops.iter().any(|op| match *op {
+                Op::Range(spec) => f.intersects_scan(spec.start, spec.end),
+                Op::Get(k) | Op::Insert(k, _) | Op::Update(k, _) | Op::Remove(k) => f.contains(k),
+            });
+            if touches {
+                if let Some(t) = self.telemetry.as_deref() {
+                    t.metrics()
+                        .stripe(self.workers.len())
+                        .inc(CounterId::BatchesRejected);
+                }
+                return Err(Backpressure {
+                    batch,
+                    reason: BackpressureReason::Migrating,
+                });
+            }
+        }
         let ops = batch.ops.len();
         // Submit-side span timestamps; both stay 0 when telemetry is off,
         // keeping the uninstrumented hot path clock-free.
         let submit_ns = self.telemetry.as_deref().map_or(0, Telemetry::now_ns);
         let sub_batches =
-            split_indexed_ops_by_shard(&batch.ops, shards, |k| partitioner.shard_of(k));
+            split_indexed_ops_by_shard(&batch.ops, shards, |k| routing.partitioner.shard_of(k));
         let route_ns = self.telemetry.as_deref().map_or(0, Telemetry::now_ns);
 
         // Reserve queue slots before enqueueing anything, so a rejected
@@ -759,10 +818,41 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
                     shared: Arc::clone(&shared),
                     enqueue_ns,
                     trace,
+                    barrier: false,
                 })
                 .expect("pipeline worker exited early");
         }
+        drop(routing);
         Ok(SubmitHandle { shared, ops })
+    }
+
+    /// Enqueue a no-op barrier on every worker queue and return a handle
+    /// that completes once each worker has dequeued its barrier. Because
+    /// workers serve their queues in FIFO order, waiting on the handle
+    /// proves every job submitted before this call has fully executed — the
+    /// drain step of the elasticity protocol (freeze, **drain**, seal,
+    /// move, commit).
+    ///
+    /// Barriers bypass the capacity reservation (they must get through even
+    /// when queues are saturated) but still tick the depth gauge so the
+    /// worker-side decrement stays balanced. They work on a shutting-down
+    /// pipeline too: workers drain queued jobs before exiting.
+    pub fn drain_barrier(&self) -> SubmitHandle {
+        let shared = Arc::new(BatchShared::new(0, self.queues.len()));
+        for (w, queue) in self.queues.iter().enumerate() {
+            self.gauge.depths[w].fetch_add(1, Ordering::SeqCst);
+            queue
+                .send(Job {
+                    shard: w,
+                    ops: Vec::new(),
+                    shared: Arc::clone(&shared),
+                    enqueue_ns: 0,
+                    trace: None,
+                    barrier: true,
+                })
+                .expect("pipeline worker exited early");
+        }
+        SubmitHandle { shared, ops: 0 }
     }
 
     /// Submit, waiting for queue capacity when a shard is saturated (the
@@ -770,10 +860,23 @@ impl<B: ConcurrentIndex<u64> + 'static> ShardPipeline<B> {
     pub fn submit(&self, batch: OpBatch) -> SubmitHandle {
         // Uncontended fast path: no lock at all, so concurrent submitters
         // split and enqueue their batches fully in parallel.
-        let mut batch = match self.try_submit(batch) {
-            Ok(handle) => return handle,
-            Err(bp) => bp.batch,
-        };
+        let mut batch = batch;
+        loop {
+            match self.try_submit(batch) {
+                Ok(handle) => return handle,
+                Err(bp) if bp.reason == BackpressureReason::Migrating => {
+                    // Blocked on a frozen range, not on capacity: park on
+                    // the routing condvar (woken by the commit/abort of the
+                    // migration) instead of the queue-freed condvar.
+                    batch = bp.batch;
+                    self.index.wait_routing_change();
+                }
+                Err(bp) => {
+                    batch = bp.batch;
+                    break;
+                }
+            }
+        }
         // Slow path: register as a waiter (so workers notify), then retry
         // under the capacity lock. The register-then-check order pairs with
         // the workers' free-then-check-waiters order; the wait timeout is a
@@ -1694,5 +1797,60 @@ mod tests {
             rejected > 0,
             "a 2-deep queue must reject under a 2k-op flood"
         );
+    }
+
+    #[test]
+    fn drain_barrier_completes_after_all_queued_work() {
+        let p = pipeline(4, 2);
+        // Queue a pile of writes, then a barrier: once the barrier's handle
+        // completes, every one of those writes must be visible.
+        for i in 0..200u64 {
+            p.submit(OpBatch::new(vec![Op::Insert(300_001 + 2 * i, i)]));
+        }
+        let responses = p.drain_barrier().wait();
+        assert!(responses.is_empty(), "a barrier answers no ops");
+        assert_eq!(p.index().len(), 4_000 + 200);
+        // Barriers leave the depth gauges balanced: the pipeline still
+        // accepts and serves work afterwards.
+        let r = p.execute(OpBatch::new(vec![Op::Get(300_001)]));
+        assert_eq!(r.hits, 1);
+    }
+
+    #[test]
+    fn frozen_range_rejects_overlapping_batches_until_commit() {
+        let p = pipeline(4, 2);
+        p.index()
+            .freeze_range(Some(4_000), None)
+            .expect("freeze succeeds");
+        // A batch inside the frozen window bounces with `Migrating`…
+        match p.try_submit(OpBatch::new(vec![Op::Insert(5_000, 1)])) {
+            Err(bp) => assert_eq!(bp.reason, BackpressureReason::Migrating),
+            Ok(_) => panic!("overlapping batch must be rejected"),
+        }
+        // …a scan reaching into it too…
+        match p.try_submit(OpBatch::new(vec![Op::Range(RangeSpec::new(3_000, 10_000))])) {
+            Err(bp) => assert_eq!(bp.reason, BackpressureReason::Migrating),
+            Ok(_) => panic!("overlapping scan must be rejected"),
+        }
+        // …while disjoint traffic flows untouched (serving never pauses
+        // globally).
+        let r = p.execute(OpBatch::new(vec![
+            Op::Get(0),
+            Op::Range(RangeSpec::bounded(0, 3_999, 10)),
+        ]));
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.hits, 1);
+        // After the routing swap commits, the same batch goes through — and
+        // a blocking submit parked during the freeze wakes up.
+        let frozen_batch = OpBatch::new(vec![Op::Insert(5_001, 1)]);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| p.submit(frozen_batch).wait());
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(!waiter.is_finished(), "submit must wait out the freeze");
+            let current = Partitioner::clone(&p.index().partitioner());
+            p.index().commit_routing(current).expect("commit succeeds");
+            assert_eq!(waiter.join().unwrap(), vec![Response::Insert(true)]);
+        });
+        assert_eq!(p.index().get(5_001), Some(1));
     }
 }

@@ -179,7 +179,9 @@ fn conn_rng() -> StdRng {
 /// load, because loading needs exclusive access to the composite).
 struct PipelineCore<B: ConcurrentIndex<u64> + 'static> {
     index: Arc<ShardedIndex<u64, B>>,
-    pipeline: Option<ShardPipeline<B>>,
+    /// Shared so an elasticity controller can hold the pipeline alongside
+    /// the target (see `gre-elastic`).
+    pipeline: Option<Arc<ShardPipeline<B>>>,
     workers: usize,
     batch: usize,
     telemetry: Option<Arc<Telemetry>>,
@@ -213,6 +215,12 @@ impl<B: ConcurrentIndex<u64> + 'static> PipelineCore<B> {
     }
 
     fn load(&mut self, entries: &[(u64, Payload)]) {
+        // Idempotent: a target loaded ahead of the driver (e.g. so an
+        // elasticity controller can attach to the pipeline before traffic
+        // starts) ignores the driver's own load call.
+        if self.pipeline.is_some() {
+            return;
+        }
         let index = Arc::get_mut(&mut self.index)
             .expect("load() must run before the worker pool is spawned");
         // Durable targets either restore a previous incarnation's on-disk
@@ -230,8 +238,28 @@ impl<B: ConcurrentIndex<u64> + 'static> PipelineCore<B> {
                             .stripe(0)
                             .add(CounterId::RecoveryReplayedOps, replayed);
                     }
-                    rec.resume(cfg.policy)
-                        .expect("durable target: cannot resume the write-ahead log")
+                    let log = rec
+                        .resume(cfg.policy)
+                        .expect("durable target: cannot resume the write-ahead log");
+                    // A replayed history containing range handoffs gets
+                    // checkpointed immediately: the bulk load above refit
+                    // the routing from the recovered data, so the old
+                    // In/Out records no longer describe this incarnation's
+                    // topology and must not survive into a second crash.
+                    if rec.has_topology() {
+                        let partitioner = index.partitioner();
+                        for shard in 0..index.num_shards() {
+                            let backend = index.backend(shard);
+                            let mut entries = Vec::with_capacity(backend.len());
+                            backend.range(gre_core::RangeSpec::new(0, backend.len()), &mut entries);
+                            // Defensive: only this shard's keys (a backend
+                            // scan may overrun under exotic partitioners).
+                            entries.retain(|&(k, _)| partitioner.shard_of(k) == shard);
+                            log.checkpoint(shard, &entries)
+                                .expect("durable target: cannot checkpoint the recovered topology");
+                        }
+                    }
+                    log
                 }
                 Err(_) => {
                     index.bulk_load(entries);
@@ -256,18 +284,18 @@ impl<B: ConcurrentIndex<u64> + 'static> PipelineCore<B> {
             index.bulk_load(entries);
             None
         };
-        self.pipeline = Some(ShardPipeline::with_services(
+        self.pipeline = Some(Arc::new(ShardPipeline::with_services(
             Arc::clone(&self.index),
             self.workers,
             DEFAULT_QUEUE_CAPACITY,
             self.telemetry.clone(),
             durability,
-        ));
+        )));
     }
 
     fn pipeline(&self) -> &ShardPipeline<B> {
         self.pipeline
-            .as_ref()
+            .as_deref()
             .expect("driver calls load() before connect()")
     }
 }
@@ -343,6 +371,14 @@ impl<B: ConcurrentIndex<u64> + 'static> PipelineTarget<B> {
     /// The live durable log, when [`PipelineTarget::durable`] and loaded.
     pub fn durability(&self) -> Option<&Arc<DurableLog>> {
         self.core.durability.as_ref()?.log.as_ref()
+    }
+
+    /// The shared serving pipeline, once loaded — the handle an elasticity
+    /// controller attaches to. Loading is idempotent, so a caller may
+    /// `load()` ahead of the driver, take this handle, and let the driver's
+    /// own load call no-op.
+    pub fn pipeline_handle(&self) -> Option<Arc<ShardPipeline<B>>> {
+        self.core.pipeline.clone()
     }
 }
 
@@ -502,6 +538,12 @@ impl<B: ConcurrentIndex<u64> + 'static> SessionTarget<B> {
     /// The live durable log, when [`SessionTarget::durable`] and loaded.
     pub fn durability(&self) -> Option<&Arc<DurableLog>> {
         self.core.durability.as_ref()?.log.as_ref()
+    }
+
+    /// The shared serving pipeline, once loaded; see
+    /// [`PipelineTarget::pipeline_handle`].
+    pub fn pipeline_handle(&self) -> Option<Arc<ShardPipeline<B>>> {
+        self.core.pipeline.clone()
     }
 }
 
