@@ -27,6 +27,10 @@
 //!   (typed [`elastic::ElasticError`], committed [`elastic::BoundaryChange`]
 //!   events) spoken between `gre-shard`'s mechanism and `gre-elastic`'s
 //!   policy layer.
+//! * [`replica`] — the shared vocabulary of the replication tier
+//!   (per-shard applied-sequence [`replica::Watermark`]s, the
+//!   [`replica::ReadPolicy`] for read placement) spoken between
+//!   `gre-replica`'s mechanism and the serving/benchmark layers.
 //! * [`error`] — the shared error type.
 
 pub mod elastic;
@@ -35,6 +39,7 @@ pub mod index;
 pub mod key;
 pub mod latency;
 pub mod ops;
+pub mod replica;
 pub mod stats;
 pub mod sync;
 pub mod wire;
@@ -45,5 +50,6 @@ pub use index::{ConcurrentIndex, Index, IndexMeta, RangeSpec};
 pub use key::{Entry, Key, Payload};
 pub use latency::{KindLatency, LatencyHistogram};
 pub use ops::{IndexError, Request, RequestKind, Response};
+pub use replica::{ReadPolicy, Watermark};
 pub use stats::{InsertBreakdown, InsertStats, OpCounters, StatsSnapshot};
 pub use sync::{OptLock, OptLockWriteGuard};

@@ -1,0 +1,165 @@
+//! Shared vocabulary of the replication tier (`gre-replica`): per-shard
+//! applied-sequence [`Watermark`]s published by replicas, and the
+//! [`ReadPolicy`] a replicated serving target uses to place reads.
+//!
+//! The types live in `gre-core` (rather than in `gre-replica` itself) for
+//! the same reason [`crate::elastic`] does: they are *protocol* vocabulary.
+//! Replicas publish watermarks, the serving target and its admission layer
+//! consume them, and tests reason about them — none of those parties should
+//! need the replication mechanism crate to talk about the contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-shard applied-sequence watermark published by one replica.
+///
+/// Slot `s` holds the highest WAL sequence number the replica has fully
+/// applied for shard `s` (sequences are per-shard and start at 1, so `0`
+/// means "nothing applied yet"). Writers advance it with [`Watermark::advance`]
+/// *after* the corresponding record's ops are visible in the replica's
+/// backend; readers use [`Watermark::covers`] to decide whether the replica
+/// is fresh enough for a session's read-your-writes requirement.
+///
+/// Advancing uses a `fetch_max` so concurrent appliers (or a re-joining
+/// replica replaying a prefix it already holds) can never move a watermark
+/// backwards.
+#[derive(Debug)]
+pub struct Watermark {
+    applied: Vec<AtomicU64>,
+}
+
+impl Watermark {
+    /// A watermark for `shards` shards, all at sequence 0 (nothing applied).
+    pub fn new(shards: usize) -> Self {
+        Watermark {
+            applied: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of shards this watermark tracks.
+    pub fn shards(&self) -> usize {
+        self.applied.len()
+    }
+
+    /// The highest applied sequence for `shard`.
+    pub fn get(&self, shard: usize) -> u64 {
+        self.applied[shard].load(Ordering::Acquire)
+    }
+
+    /// Publish that `shard` has applied everything up to and including
+    /// `seq`. Monotone: a stale publish (lower than the current value) is a
+    /// no-op. Returns the watermark value after the call.
+    pub fn advance(&self, shard: usize, seq: u64) -> u64 {
+        let prev = self.applied[shard].fetch_max(seq, Ordering::AcqRel);
+        prev.max(seq)
+    }
+
+    /// Whether this watermark has applied at least `seq` on `shard` — i.e.
+    /// a read that must observe the write committed at `seq` may be served
+    /// here.
+    pub fn covers(&self, shard: usize, seq: u64) -> bool {
+        self.get(shard) >= seq
+    }
+
+    /// How far behind `target` this watermark is on `shard`, in sequence
+    /// numbers (saturating; 0 when caught up or ahead).
+    pub fn lag_behind(&self, shard: usize, target: u64) -> u64 {
+        target.saturating_sub(self.get(shard))
+    }
+
+    /// Total lag across all shards against a per-shard `targets` slice
+    /// (saturating per shard). Used by least-lagged read placement.
+    pub fn total_lag(&self, targets: &[u64]) -> u64 {
+        targets
+            .iter()
+            .enumerate()
+            .map(|(s, &t)| self.lag_behind(s, t))
+            .sum()
+    }
+
+    /// Snapshot of every shard's applied sequence.
+    pub fn snapshot(&self) -> Vec<u64> {
+        (0..self.shards()).map(|s| self.get(s)).collect()
+    }
+}
+
+/// How a replicated serving target places reads across its replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPolicy {
+    /// Rotate reads across replicas regardless of lag. Maximum fan-out,
+    /// no staleness bound: a read may observe a state arbitrarily far
+    /// behind the primary.
+    RoundRobin,
+    /// Send each read to the replica with the smallest total shipping lag
+    /// at dispatch time. Still unbounded staleness, but keeps reads off a
+    /// replica that has fallen behind (e.g. one that is re-joining).
+    LeastLagged,
+    /// Read-your-writes: a read is only placed on a replica whose
+    /// [`Watermark`] covers the session's last acknowledged write on every
+    /// shard the read touches; if no replica qualifies, the read falls
+    /// back to the primary (which is trivially current).
+    WatermarkBound,
+}
+
+impl ReadPolicy {
+    /// Stable lowercase name, for CLI flags and report labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReadPolicy::RoundRobin => "round-robin",
+            ReadPolicy::LeastLagged => "least-lagged",
+            ReadPolicy::WatermarkBound => "watermark-bound",
+        }
+    }
+
+    /// All policies, for sweeps and exhaustive tests.
+    pub const ALL: [ReadPolicy; 3] = [
+        ReadPolicy::RoundRobin,
+        ReadPolicy::LeastLagged,
+        ReadPolicy::WatermarkBound,
+    ];
+}
+
+impl std::fmt::Display for ReadPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_starts_at_zero_and_advances_monotonically() {
+        let w = Watermark::new(3);
+        assert_eq!(w.shards(), 3);
+        for s in 0..3 {
+            assert_eq!(w.get(s), 0);
+        }
+        assert_eq!(w.advance(1, 5), 5);
+        assert_eq!(w.get(1), 5);
+        // Stale publish does not regress.
+        assert_eq!(w.advance(1, 3), 5);
+        assert_eq!(w.get(1), 5);
+        assert_eq!(w.advance(1, 9), 9);
+        assert_eq!(w.snapshot(), vec![0, 9, 0]);
+    }
+
+    #[test]
+    fn covers_and_lag() {
+        let w = Watermark::new(2);
+        w.advance(0, 4);
+        assert!(w.covers(0, 4));
+        assert!(w.covers(0, 0));
+        assert!(!w.covers(0, 5));
+        assert_eq!(w.lag_behind(0, 10), 6);
+        assert_eq!(w.lag_behind(0, 2), 0);
+        assert_eq!(w.total_lag(&[10, 7]), 6 + 7);
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        let names: Vec<&str> = ReadPolicy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["round-robin", "least-lagged", "watermark-bound"]);
+        assert_eq!(ReadPolicy::WatermarkBound.to_string(), "watermark-bound");
+    }
+}

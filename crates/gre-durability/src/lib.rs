@@ -20,6 +20,10 @@
 //! * [`recover`] — [`recover::Recovery`]: scan, classify how each shard's
 //!   history ends (clean / torn / corrupt / sequence break), replay into
 //!   any [`gre_core::ConcurrentIndex`] backend, and resume logging.
+//! * [`follow`] — [`follow::LogFollower`]: tail a live log as the
+//!   replication shipping stream, re-using the same record decode and
+//!   torn-tail discipline as recovery, with watermark-based resume for
+//!   re-joining replicas.
 //!
 //! The serving pipeline (`gre-shard`) consumes this crate the same way it
 //! consumes telemetry: an optional `Arc<DurableLog>` attached at
@@ -28,6 +32,7 @@
 //! cover.
 
 pub mod failpoint;
+pub mod follow;
 pub mod record;
 pub mod recover;
 pub mod snapshot;
@@ -36,6 +41,7 @@ pub mod util;
 pub mod wal;
 
 pub use failpoint::{FailAction, FailpointRegistry, InjectingSink, Trigger};
+pub use follow::LogFollower;
 pub use record::{
     decode_record, encode_record, encode_topology, Record, RecordError, TopologyDirection,
     TopologyRecord, MAX_RECORD_LEN, TOPOLOGY_CHUNK,

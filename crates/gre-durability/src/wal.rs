@@ -137,7 +137,7 @@ pub struct DurableLog {
 /// File name of the per-directory manifest recording the log layout.
 pub const MANIFEST: &str = "MANIFEST";
 
-fn wal_path(dir: &Path, shard: usize) -> PathBuf {
+pub(crate) fn wal_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard}.wal"))
 }
 

@@ -1,0 +1,41 @@
+//! Replication tier for the GRE serving stack (PR 10).
+//!
+//! The serving story so far ends at one durable pipeline: `gre-shard`
+//! serves a sharded composite through a worker pool, and `gre-durability`
+//! group-commits every write to a per-shard WAL before it executes. This
+//! crate turns that WAL into a *replication stream*: a write-forwarding
+//! **primary** executes all writes, and N **read replicas** tail the WAL
+//! with a [`gre_durability::LogFollower`], apply committed records into
+//! their own backend copies, and publish per-shard applied-sequence
+//! [`gre_core::Watermark`]s.
+//!
+//! [`ReplicatedTarget`] implements `ServeTarget`, so the existing
+//! `Scenario`/`Driver` machinery drives a replicated deployment unchanged:
+//!
+//! - **Writes** forward to the primary and are acknowledged only after the
+//!   WAL commit (the same guarantee `PipelineTarget::durable` gives).
+//! - **Reads** fan out across replicas under a [`gre_core::ReadPolicy`]:
+//!   round-robin, least-lagged, or watermark-bounded (read-your-writes:
+//!   a replica only serves a session's read if its watermark covers the
+//!   session's last acknowledged write, else the primary serves it).
+//! - **Admission** is SLO-driven when configured ([`SloTarget`]): each
+//!   replica tracks its read p99 over an interval, and reads are
+//!   redirected off a breached replica — or shed with
+//!   `IndexError::Overloaded` when every replica is in breach — with both
+//!   outcomes counted in `gre-telemetry` and surfaced on `PhaseResult`.
+//!
+//! Replica crashes are first-class: shippers die mid-stream at scripted
+//! failpoints ([`apply_failpoint`]), and
+//! [`ReplicatedTarget::rejoin_replica`] resumes shipping from the
+//! replica's own watermark — the follower skips already-applied records,
+//! so a re-join neither loses nor duplicates applies.
+//!
+//! See `docs/REPLICATION.md` for the design walk-through.
+
+pub mod set;
+pub mod slo;
+pub mod target;
+
+pub use set::{apply_failpoint, ReplicaNode};
+pub use slo::{SloMonitor, SloTarget};
+pub use target::ReplicatedTarget;

@@ -1,0 +1,143 @@
+//! Per-server latency-SLO tracking for admission control.
+//!
+//! Each read server (replica) owns an [`SloMonitor`]: read latencies are
+//! recorded into an interval-scoped histogram, and every time the interval
+//! rolls over the monitor publishes the closed interval's p99 into an
+//! atomic. Admission checks ([`SloMonitor::breached`]) are then a single
+//! relaxed load against the configured target — the dispatch hot path never
+//! touches the histogram lock.
+//!
+//! This mirrors the Driver's `interval_percentiles` series (PR 7): the same
+//! p99-over-interval signal, computed on the serving side where the
+//! admission decision has to happen.
+
+use gre_core::LatencyHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Latency target for SLO-driven admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloTarget {
+    /// The p99-over-interval ceiling, in nanoseconds.
+    pub p99_ns: u64,
+    /// Width of the rolling measurement interval.
+    pub interval: Duration,
+}
+
+impl SloTarget {
+    /// A target with the default 100 ms measurement interval.
+    pub fn p99(p99_ns: u64) -> SloTarget {
+        SloTarget {
+            p99_ns,
+            interval: Duration::from_millis(100),
+        }
+    }
+
+    /// Override the measurement interval.
+    pub fn with_interval(mut self, interval: Duration) -> SloTarget {
+        self.interval = interval;
+        self
+    }
+}
+
+/// Interval-scoped p99 tracker for one read server.
+#[derive(Debug)]
+pub struct SloMonitor {
+    target: SloTarget,
+    /// p99 of the last *closed* interval, ns; 0 until one interval closes.
+    published_p99: AtomicU64,
+    window: Mutex<Window>,
+}
+
+#[derive(Debug)]
+struct Window {
+    hist: LatencyHistogram,
+    opened: Instant,
+}
+
+impl SloMonitor {
+    pub fn new(target: SloTarget) -> SloMonitor {
+        SloMonitor {
+            target,
+            published_p99: AtomicU64::new(0),
+            window: Mutex::new(Window {
+                hist: LatencyHistogram::new(),
+                opened: Instant::now(),
+            }),
+        }
+    }
+
+    /// The configured target.
+    pub fn target(&self) -> SloTarget {
+        self.target
+    }
+
+    /// Record one observed read latency (ns). Rolls the interval over and
+    /// publishes its p99 when the interval has elapsed.
+    pub fn record(&self, ns: u64) {
+        let mut w = self.window.lock().expect("slo window poisoned");
+        w.hist.record(ns);
+        if w.opened.elapsed() >= self.target.interval {
+            let p99 = if w.hist.count() == 0 {
+                0
+            } else {
+                w.hist.percentile(0.99)
+            };
+            self.published_p99.store(p99, Ordering::Relaxed);
+            w.hist = LatencyHistogram::new();
+            w.opened = Instant::now();
+        }
+    }
+
+    /// p99 of the last closed interval, ns (0 before any interval closed).
+    pub fn published_p99(&self) -> u64 {
+        self.published_p99.load(Ordering::Relaxed)
+    }
+
+    /// Whether the last closed interval breached the target. Lock-free.
+    #[inline]
+    pub fn breached(&self) -> bool {
+        self.published_p99() > self.target.p99_ns
+    }
+
+    /// Force-publish a p99 value (tests and fault drills: put a server
+    /// into or out of breach without forging traffic timings).
+    pub fn publish_for_test(&self, p99_ns: u64) {
+        self.published_p99.store(p99_ns, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publishes_p99_on_interval_rollover() {
+        let mon = SloMonitor::new(SloTarget::p99(1_000).with_interval(Duration::ZERO));
+        assert!(!mon.breached(), "no interval closed yet");
+        // Zero-width interval: every record closes a window.
+        mon.record(5_000);
+        assert!(mon.published_p99() >= 4_000);
+        assert!(mon.breached());
+        mon.record(100);
+        assert!(!mon.breached(), "fast interval clears the breach");
+    }
+
+    #[test]
+    fn long_interval_defers_publication() {
+        let mon = SloMonitor::new(SloTarget::p99(1_000).with_interval(Duration::from_secs(3600)));
+        mon.record(1_000_000);
+        assert_eq!(mon.published_p99(), 0, "interval still open");
+        assert!(!mon.breached());
+    }
+
+    #[test]
+    fn forced_publication_flips_the_breach_bit() {
+        let mon = SloMonitor::new(SloTarget::p99(1_000));
+        mon.publish_for_test(2_000);
+        assert!(mon.breached());
+        mon.publish_for_test(500);
+        assert!(!mon.breached());
+    }
+}

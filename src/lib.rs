@@ -4,6 +4,7 @@ pub use gre_datasets as datasets;
 pub use gre_elastic as elastic;
 pub use gre_learned as learned;
 pub use gre_pla as pla;
+pub use gre_replica as replica;
 pub use gre_shard as shard;
 pub use gre_traditional as traditional;
 pub use gre_workloads as workloads;
